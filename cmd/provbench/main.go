@@ -1,0 +1,167 @@
+// Command provbench regenerates the paper's evaluation figures
+// (Section VI) on the synthetic stream. Each -fig value maps to one
+// figure of the paper; 'all' runs the whole suite plus the ablation
+// studies and prints the text tables EXPERIMENTS.md quotes.
+//
+// Usage:
+//
+//	provbench -fig all                  # everything at the reduced default scale
+//	provbench -fig 8                    # just Figure 8 (accuracy/return)
+//	provbench -scale paper -fig 7       # paper-sized run (700k messages)
+//	provbench -fig all -out results.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"provex/internal/experiments"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "all", "figures to regenerate (comma separated): 6,7,8,9,10,11,12,13, ablations, all")
+		scaleArg = flag.String("scale", "default", "run scale: default | paper")
+		messages = flag.Int("n", 0, "override the main stream length")
+		sweepN   = flag.Int("sweep-n", 0, "override the Fig 9 sweep stream length (pool limits scale proportionally)")
+		out      = flag.String("out", "-", "output path, '-' for stdout")
+	)
+	flag.Parse()
+
+	var s experiments.Scale
+	switch *scaleArg {
+	case "default":
+		s = experiments.DefaultScale()
+	case "paper":
+		s = experiments.PaperScale()
+	default:
+		fail("unknown scale %q (want default or paper)", *scaleArg)
+	}
+	if *messages > 0 {
+		s.Messages = *messages
+	}
+	if *sweepN > 0 && *sweepN != s.SweepMessages {
+		// Keep each pool limit's ratio to the sweep stream length.
+		factor := float64(*sweepN) / float64(s.SweepMessages)
+		for i, lim := range s.SweepLimits {
+			scaled := int(float64(lim) * factor)
+			if scaled < 20 {
+				scaled = 20
+			}
+			s.SweepLimits[i] = scaled
+		}
+		s.SweepMessages = *sweepN
+	}
+
+	w := io.Writer(os.Stdout)
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail("create %s: %v", *out, err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	valid := map[string]bool{
+		"6": true, "7": true, "8": true, "9": true, "10": true,
+		"11": true, "12": true, "13": true, "ablations": true, "all": true,
+	}
+	figs := map[string]bool{}
+	for _, f := range strings.Split(strings.ToLower(*fig), ",") {
+		f = strings.TrimSpace(f)
+		if !valid[f] {
+			fail("unknown figure %q (want 6..13, ablations or all)", f)
+		}
+		figs[f] = true
+	}
+	run(w, s, figs)
+}
+
+// run executes the requested figure(s). Figures 7, 8, 11, 12 and 13
+// share one three-method pass so 'all' (or any comma-joined subset of
+// them) ingests the main stream once.
+func run(w io.Writer, s experiments.Scale, figs map[string]bool) {
+	start := time.Now()
+	fmt.Fprintf(w, "provbench: scale messages=%d sweep=%d pool=%d bundle_limit=%d seed=%d\n\n",
+		s.Messages, s.SweepMessages, s.PoolLimit, s.BundleLimit, s.Seed)
+
+	var three *experiments.ThreeResult
+	needThree := func() *experiments.ThreeResult {
+		if three == nil {
+			fmt.Fprintln(os.Stderr, "provbench: running three-method stream pass...")
+			three = experiments.RunThreeMethods(s)
+		}
+		return three
+	}
+	emit := func(tables ...*experiments.Table) {
+		for _, t := range tables {
+			fmt.Fprintln(w, t.Render())
+		}
+	}
+
+	wants := func(name string) bool { return figs["all"] || figs[name] }
+
+	if wants("6") {
+		fmt.Fprintln(os.Stderr, "provbench: figure 6...")
+		emit(experiments.Fig6(s)...)
+	}
+	if wants("7") {
+		emit(experiments.Fig7(needThree()))
+	}
+	if wants("8") {
+		emit(experiments.Fig8(needThree())...)
+	}
+	if wants("9") {
+		fmt.Fprintln(os.Stderr, "provbench: figure 9 sweep...")
+		emit(experiments.Fig9(s))
+	}
+	if wants("10") {
+		fmt.Fprintln(os.Stderr, "provbench: figure 10 showcases...")
+		table, trails := experiments.Fig10(s)
+		emit(table)
+		for _, trail := range trails {
+			fmt.Fprintln(w, headLines(trail, 20))
+		}
+	}
+	if wants("11") {
+		emit(experiments.Fig11(needThree())...)
+	}
+	if wants("12") {
+		emit(experiments.Fig12(needThree()))
+	}
+	if wants("13") {
+		emit(experiments.Fig13(needThree()))
+	}
+	if three != nil {
+		emit(experiments.ConnBreakdown(three))
+	}
+	if wants("ablations") {
+		fmt.Fprintln(os.Stderr, "provbench: ablations...")
+		emit(
+			experiments.AblationCandidateFetch(s),
+			experiments.AblationFreshness(s),
+			experiments.AblationRefineTrigger(s),
+			experiments.AblationKeywordClass(s),
+		)
+	}
+	fmt.Fprintf(os.Stderr, "provbench: done in %.1fs\n", time.Since(start).Seconds())
+}
+
+// headLines truncates s to its first n lines, annotating the cut.
+func headLines(s string, n int) string {
+	lines := strings.Split(s, "\n")
+	if len(lines) <= n {
+		return s
+	}
+	return strings.Join(lines[:n], "\n") + fmt.Sprintf("\n  ... (%d more lines)\n", len(lines)-n)
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "provbench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,79 @@
+// Command provgen generates a synthetic micro-blog dataset (JSONL) with
+// the statistical shape of the paper's 2009 Twitter crawl — the
+// documented substitute for the unavailable original data (DESIGN.md,
+// S3).
+//
+// Usage:
+//
+//	provgen -n 700000 -out stream.jsonl
+//	provgen -n 100000 -showcases -seed 7 -out small.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"provex/internal/gen"
+	"provex/internal/stream"
+)
+
+func main() {
+	var (
+		n          = flag.Int("n", 100_000, "number of messages to generate")
+		out        = flag.String("out", "-", "output path, '-' for stdout")
+		seed       = flag.Int64("seed", 1, "RNG seed (equal seeds give identical streams)")
+		msgsPerDay = flag.Int("msgs-per-day", 70_000, "mean arrival rate (paper's crawl: ~70k/day)")
+		users      = flag.Int("users", 50_000, "user population")
+		eventsDay  = flag.Float64("events-per-day", 2200, "topical event spawn rate")
+		noise      = flag.Float64("noise", 0.35, "fraction of noisy chatter messages")
+		showcases  = flag.Bool("showcases", false, "inject the Figure 10 showcase events (IBM CICS, Samoa tsunami)")
+	)
+	flag.Parse()
+
+	cfg := gen.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.MsgsPerDay = *msgsPerDay
+	cfg.Users = *users
+	cfg.EventsPerDay = *eventsDay
+	cfg.NoiseRatio = *noise
+	if *showcases {
+		cfg.Scripts = []gen.EventScript{
+			{
+				Name:     "ibm cics partner conference",
+				Hashtags: []string{"cics", "ibm"},
+				Topic:    []string{"cics", "partner", "conference", "mainframe", "keynote", "session", "announce"},
+				URLs:     2, Start: 6 * time.Hour, HalfLife: 12 * time.Hour, Weight: 25,
+			},
+			{
+				Name:     "samoa tsunami",
+				Hashtags: []string{"tsunami", "samoa"},
+				Topic:    []string{"tsunami", "samoa", "quake", "warning", "rescue", "coast", "relief"},
+				URLs:     3, Start: 18 * time.Hour, HalfLife: 8 * time.Hour, Weight: 40,
+			},
+		}
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail("create %s: %v", *out, err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	g := gen.New(cfg)
+	written, err := stream.WriteJSONL(w, stream.Limit(stream.FuncSource(g.Next), *n))
+	if err != nil {
+		fail("write: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "provgen: wrote %d messages (seed %d) to %s\n", written, *seed, *out)
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "provgen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,87 @@
+// Command provsearch loads a dataset into the engine and answers one
+// query in either retrieval mode, contrasting the paper's Figure 1
+// (message search) with Figure 2 (provenance bundle search).
+//
+// Usage:
+//
+//	provsearch -in stream.jsonl -q "yankee redsox"            # bundle mode
+//	provsearch -in stream.jsonl -q "yankee redsox" -messages  # Figure 1 baseline
+//	provsearch -in stream.jsonl -trail 42                     # render bundle 42
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"provex/internal/bundle"
+	"provex/internal/core"
+	"provex/internal/query"
+	"provex/internal/stream"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "-", "input JSONL path, '-' for stdin")
+		q        = flag.String("q", "", "query string")
+		messages = flag.Bool("messages", false, "message search (Figure 1) instead of bundle search")
+		k        = flag.Int("k", 10, "results to return")
+		trailID  = flag.Uint64("trail", 0, "render the provenance trail of this bundle ID instead of searching")
+	)
+	flag.Parse()
+	if *q == "" && *trailID == 0 {
+		fail("need -q or -trail")
+	}
+
+	r := os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fail("open %s: %v", *in, err)
+		}
+		defer f.Close()
+		r = f
+	}
+
+	proc := query.New(core.New(core.FullIndexConfig(), nil, nil), query.DefaultOptions())
+	src := stream.NewJSONLReader(r)
+	n := 0
+	for {
+		m, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fail("read: %v", err)
+		}
+		proc.Insert(m)
+		n++
+	}
+	fmt.Fprintf(os.Stderr, "provsearch: indexed %d messages\n", n)
+
+	switch {
+	case *trailID != 0:
+		trail, err := proc.Trail(bundle.ID(*trailID))
+		if err != nil {
+			fail("trail: %v", err)
+		}
+		fmt.Print(trail)
+	case *messages:
+		fmt.Printf("message search (Fig. 1) for %q:\n", *q)
+		for _, h := range proc.SearchMessages(*q, *k) {
+			fmt.Printf("  %6.3f  %s\n", h.Score, h.Msg)
+		}
+	default:
+		fmt.Printf("provenance bundle search (Fig. 2) for %q:\n", *q)
+		for _, h := range proc.SearchBundles(*q, *k) {
+			fmt.Printf("  %s\n", h)
+		}
+		fmt.Fprintln(os.Stderr, "provsearch: use -trail <id> to render a bundle's provenance trail")
+	}
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "provsearch: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,194 @@
+// Command provserve hosts the demo site of the paper (Section V-C's
+// t.pku.edu.cn/tweet analogue): it loads or generates a dataset, builds
+// the provenance index, and serves message search, bundle search and
+// trail visualisation over HTTP.
+//
+// Usage:
+//
+//	provserve -n 50000 -addr :8080              # generate, build, serve
+//	provserve -in stream.jsonl -addr :8080      # serve an existing dataset
+//	provgen -n 0 | provserve -follow            # live ingest from stdin while serving
+//	provserve -in s.jsonl -ckpt engine.ckpt     # resume from/persist a checkpoint
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"provex/internal/core"
+	"provex/internal/gen"
+	"provex/internal/pipeline"
+	"provex/internal/query"
+	"provex/internal/server"
+	"provex/internal/stream"
+)
+
+func main() {
+	var (
+		in     = flag.String("in", "", "input JSONL path ('' = generate -n messages; with -follow, '' = stdin)")
+		n      = flag.Int("n", 50_000, "messages to generate when -in is empty (ignored with -follow)")
+		seed   = flag.Int64("seed", 1, "generator seed")
+		addr   = flag.String("addr", ":8080", "listen address")
+		follow = flag.Bool("follow", false, "keep ingesting from the input while serving (live mode)")
+		ckpt   = flag.String("ckpt", "", "checkpoint path: resume from it when present, keep it updated while running")
+	)
+	flag.Parse()
+
+	proc := buildProcessor(*ckpt)
+
+	src := openSource(*in, *n, *seed, *follow)
+	if *follow {
+		serveLive(proc, src, *addr, *ckpt)
+		return
+	}
+
+	// Build-then-serve: ingest everything, then answer queries
+	// single-threaded through the processor.
+	start := time.Now()
+	count := ingestAll(proc, src)
+	st := proc.Snapshot()
+	fmt.Fprintf(os.Stderr, "provserve: indexed %d messages into %d bundles in %.1fs\n",
+		count, st.BundlesLive, time.Since(start).Seconds())
+	if *ckpt != "" {
+		if err := saveCheckpoint(proc.Engine(), *ckpt); err != nil {
+			fail("checkpoint: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "provserve: checkpoint written to %s\n", *ckpt)
+	}
+	fmt.Fprintf(os.Stderr, "provserve: listening on %s — try /prov?q=tsunami+samoa\n", *addr)
+	if err := http.ListenAndServe(*addr, server.New(proc)); err != nil {
+		fail("serve: %v", err)
+	}
+}
+
+// buildProcessor restores from a checkpoint when one exists, otherwise
+// starts fresh.
+func buildProcessor(ckpt string) *query.Processor {
+	cfg := core.FullIndexConfig()
+	if ckpt != "" {
+		if f, err := os.Open(ckpt); err == nil {
+			defer f.Close()
+			eng, err := core.RestoreCheckpoint(cfg, nil, nil, f)
+			if err != nil {
+				fail("restore %s: %v", ckpt, err)
+			}
+			st := eng.Snapshot()
+			fmt.Fprintf(os.Stderr, "provserve: resumed from %s (%d messages, %d bundles)\n",
+				ckpt, st.Messages, st.BundlesLive)
+			// Note: the baseline message index is not checkpointed; a
+			// resumed server answers /prov and /bundle over the full
+			// history but /search only over post-resume messages.
+			return query.New(eng, query.DefaultOptions())
+		}
+	}
+	return query.New(core.New(cfg, nil, nil), query.DefaultOptions())
+}
+
+func openSource(in string, n int, seed int64, follow bool) stream.Source {
+	switch {
+	case in != "":
+		f, err := os.Open(in)
+		if err != nil {
+			fail("open %s: %v", in, err)
+		}
+		return stream.NewJSONLReader(f)
+	case follow:
+		return stream.NewJSONLReader(os.Stdin)
+	default:
+		cfg := gen.DefaultConfig()
+		cfg.Seed = seed
+		cfg.Scripts = []gen.EventScript{{
+			Name:     "samoa tsunami",
+			Hashtags: []string{"tsunami", "samoa"},
+			Topic:    []string{"tsunami", "samoa", "quake", "warning", "rescue", "coast"},
+			URLs:     3, Start: 6 * time.Hour, HalfLife: 8 * time.Hour, Weight: 40,
+		}}
+		return stream.Limit(stream.FuncSource(gen.New(cfg).Next), n)
+	}
+}
+
+func ingestAll(proc *query.Processor, src stream.Source) int {
+	count := 0
+	for {
+		m, err := src.Next()
+		if err == io.EOF {
+			return count
+		}
+		if err != nil {
+			fail("read: %v", err)
+		}
+		proc.Insert(m)
+		count++
+	}
+}
+
+// serveLive runs the concurrent pipeline: ingest from src in the
+// background while the HTTP server answers queries against live state.
+func serveLive(proc *query.Processor, src stream.Source, addr, ckpt string) {
+	opts := pipeline.Options{}
+	if ckpt != "" {
+		opts.CheckpointEvery = 50_000
+		opts.CheckpointPath = ckpt
+	}
+	svc := pipeline.New(proc, opts)
+	svc.Start()
+
+	go func() {
+		for {
+			m, err := src.Next()
+			if err == io.EOF {
+				if err := svc.Stop(); err != nil {
+					fail("pipeline: %v", err)
+				}
+				fmt.Fprintf(os.Stderr, "provserve: input drained after %d messages; still serving\n", svc.Ingested())
+				return
+			}
+			if err != nil {
+				fail("read: %v", err)
+			}
+			if err := svc.Submit(m); err != nil {
+				fail("submit: %v", err)
+			}
+		}
+	}()
+
+	go func() {
+		for range time.Tick(10 * time.Second) {
+			st := svc.Snapshot()
+			fmt.Fprintf(os.Stderr, "provserve: live %d messages, %d bundles, %.1f MB\n",
+				st.Messages, st.BundlesLive, float64(st.MemTotal())/(1<<20))
+		}
+	}()
+
+	fmt.Fprintf(os.Stderr, "provserve: live mode on %s\n", addr)
+	if err := http.ListenAndServe(addr, server.New(svc)); err != nil {
+		fail("serve: %v", err)
+	}
+}
+
+func saveCheckpoint(eng *core.Engine, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := eng.WriteCheckpoint(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "provserve: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,150 @@
+// Command provstats profiles a micro-blog dataset: message rates,
+// indicant coverage, RT share, user-activity skew and text length
+// distribution. It exists to validate the synthetic substitution for
+// the paper's 2009 crawl (DESIGN.md, S3) — the generator's output
+// should show the same qualitative shapes the paper describes: heavy
+// user skew, a meaningful RT share, noisy short fragments, hashtag-
+// carried topics.
+//
+// Usage:
+//
+//	provgen -n 100000 | provstats
+//	provstats -in stream.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"provex/internal/metrics"
+	"provex/internal/stream"
+)
+
+func main() {
+	in := flag.String("in", "-", "input JSONL path, '-' for stdin")
+	flag.Parse()
+
+	r := os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fail("open %s: %v", *in, err)
+		}
+		defer f.Close()
+		r = f
+	}
+
+	var (
+		n, withTag, withURL, withMention, rts, noise int
+		tagOcc, urlOcc                               int
+		first, last                                  time.Time
+		users                                        = map[string]int{}
+		tags                                         = map[string]int{}
+		lenHist                                      = metrics.NewHistogram(20, 40, 60, 80, 100, 120, 140)
+	)
+
+	src := stream.NewJSONLReader(r)
+	for {
+		m, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fail("read: %v", err)
+		}
+		n++
+		if first.IsZero() {
+			first = m.Date
+		}
+		last = m.Date
+		users[m.User]++
+		lenHist.Observe(int64(len(m.Text)))
+		if len(m.Hashtags) > 0 {
+			withTag++
+			tagOcc += len(m.Hashtags)
+			for _, h := range m.Hashtags {
+				tags[h]++
+			}
+		}
+		if len(m.URLs) > 0 {
+			withURL++
+			urlOcc += len(m.URLs)
+		}
+		if len(m.Mentions) > 0 {
+			withMention++
+		}
+		if m.IsRT() {
+			rts++
+		}
+		if len(m.Hashtags) == 0 && len(m.URLs) == 0 && !m.IsRT() {
+			noise++
+		}
+	}
+	if n == 0 {
+		fail("empty dataset")
+	}
+
+	span := last.Sub(first)
+	fmt.Printf("messages        %d\n", n)
+	fmt.Printf("time span       %s .. %s (%.1f days)\n",
+		first.Format("2006-01-02 15:04"), last.Format("2006-01-02 15:04"), span.Hours()/24)
+	if span > 0 {
+		fmt.Printf("rate            %.0f msgs/day\n", float64(n)/(span.Hours()/24))
+	}
+	pct := func(x int) float64 { return 100 * float64(x) / float64(n) }
+	fmt.Printf("with hashtag    %d (%.1f%%), %.2f tags/message overall\n", withTag, pct(withTag), float64(tagOcc)/float64(n))
+	fmt.Printf("with URL        %d (%.1f%%)\n", withURL, pct(withURL))
+	fmt.Printf("with mention    %d (%.1f%%)\n", withMention, pct(withMention))
+	fmt.Printf("re-shares (RT)  %d (%.1f%%)\n", rts, pct(rts))
+	fmt.Printf("bare noise      %d (%.1f%%)  [no tag, URL or RT]\n", noise, pct(noise))
+	fmt.Printf("distinct users  %d\n", len(users))
+	fmt.Printf("distinct tags   %d\n", len(tags))
+
+	// User skew: share of traffic from the top 1% of users.
+	counts := make([]int, 0, len(users))
+	for _, c := range users {
+		counts = append(counts, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	top := len(counts) / 100
+	if top < 1 {
+		top = 1
+	}
+	topSum := 0
+	for _, c := range counts[:top] {
+		topSum += c
+	}
+	fmt.Printf("user skew       top 1%% of users post %.1f%% of messages\n", pct(topSum))
+
+	// Top hashtags.
+	type tc struct {
+		tag string
+		c   int
+	}
+	all := make([]tc, 0, len(tags))
+	for t, c := range tags {
+		all = append(all, tc{t, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].c != all[j].c {
+			return all[i].c > all[j].c
+		}
+		return all[i].tag < all[j].tag
+	})
+	fmt.Printf("top hashtags    ")
+	for i := 0; i < len(all) && i < 8; i++ {
+		fmt.Printf("#%s(%d) ", all[i].tag, all[i].c)
+	}
+	fmt.Println()
+
+	fmt.Printf("\ntext length distribution:\n%s", lenHist.String())
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "provstats: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,12 @@
+// Package provex reproduces "Provenance-based Indexing Support in
+// Micro-blog Platforms" (Yao, Cui, Xue, Liu — ICDE 2012) as a Go
+// library: a provenance model over micro-blog message streams, a
+// summary index routing each incoming message into provenance bundles,
+// adaptive pool maintenance, an on-disk bundle store, and
+// bundle-granularity retrieval.
+//
+// The implementation lives under internal/ (see DESIGN.md for the
+// module inventory); cmd/ holds the tools, examples/ runnable
+// demonstrations, and bench_test.go one benchmark per figure of the
+// paper's evaluation.
+package provex

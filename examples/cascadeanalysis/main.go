@@ -1,0 +1,124 @@
+// Cascadeanalysis: the paper's future-work directions in action
+// (Section VII — provenance operators and social quality assessment).
+// After ingesting a stream with a scripted breaking event, the example
+// runs lineage operators over the event bundle (sources, deepest trail,
+// influence ranking), then scores bundles and messages for credibility
+// using provenance structure — separating the corroborated event from
+// single-author noise.
+//
+// Run with:
+//
+//	go run ./examples/cascadeanalysis
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"provex/internal/bundle"
+	"provex/internal/core"
+	"provex/internal/gen"
+	"provex/internal/provops"
+	"provex/internal/quality"
+	"provex/internal/query"
+	"provex/internal/score"
+)
+
+func main() {
+	cfg := gen.DefaultConfig()
+	cfg.Scripts = []gen.EventScript{{
+		Name:     "samoa tsunami",
+		Hashtags: []string{"tsunami", "samoa"},
+		Topic:    []string{"tsunami", "samoa", "quake", "warning", "rescue", "coast"},
+		URLs:     3,
+		Start:    2 * time.Hour,
+		HalfLife: 6 * time.Hour,
+		Weight:   40,
+	}}
+	g := gen.New(cfg)
+	proc := query.New(core.New(core.FullIndexConfig(), nil, nil), query.DefaultOptions())
+	const total = 30_000
+	for i := 0; i < total; i++ {
+		proc.Insert(g.Next())
+	}
+
+	hits := proc.SearchBundles("tsunami samoa", 1)
+	if len(hits) == 0 {
+		panic("event bundle not found")
+	}
+	b, err := proc.Engine().Bundle(hits[0].ID)
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("event bundle %d: %d messages, summary %v\n\n", b.ID(), b.Size(), b.SummaryWords(6))
+
+	// --- lineage operators -------------------------------------------------
+	stats := provops.Cascade(b)
+	fmt.Println("cascade structure:", stats)
+	fmt.Println(stats.DepthHistogramString())
+
+	sources := provops.Sources(b)
+	fmt.Printf("independent sources: %d (first: %s)\n", len(sources), sources[0].Msg())
+
+	// Deepest trail: find a node at max depth and walk to its root.
+	deepest := provops.NodeRef{Bundle: b}
+	for i := range b.Nodes() {
+		ref := provops.NodeRef{Bundle: b, Index: i}
+		if provops.Depth(ref) > provops.Depth(deepest) {
+			deepest = ref
+		}
+	}
+	fmt.Printf("\ndeepest propagation trail (%d hops):\n", provops.Depth(deepest))
+	for _, ref := range provops.PathToRoot(deepest) {
+		fmt.Printf("  <- %s\n", ref.Msg())
+	}
+
+	fmt.Println("\ntop influencers in the event:")
+	for i, inf := range provops.InfluenceRanking(b) {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("  %-12s posts=%d triggered=%d reach=%d\n", inf.User, inf.Posts, inf.Triggered, inf.Reach)
+	}
+
+	// --- quality assessment ------------------------------------------------
+	fmt.Println("\ncredibility: event bundle vs the noisiest small bundles")
+	var bundles []*bundle.Bundle
+	proc.Engine().Pool().All(func(pb *bundle.Bundle) {
+		if pb.Size() <= 2 && len(bundles) < 4 {
+			bundles = append(bundles, pb)
+		}
+	})
+	bundles = append(bundles, b)
+	for _, s := range quality.RankBundles(bundles, quality.DefaultWeights()) {
+		fmt.Println(" ", s)
+	}
+
+	fmt.Println("\nmost credible messages inside the event bundle:")
+	msgScores := quality.ScoreMessages(b, quality.DefaultWeights())
+	for i, ms := range msgScores {
+		if i >= 3 {
+			break
+		}
+		ref, _ := provops.FindMessage(b, ms.ID)
+		text := ref.Msg().Text
+		if len(text) > 70 {
+			text = text[:70] + "..."
+		}
+		fmt.Printf("  %.3f  @%s: %s\n", ms.Score, ms.User, text)
+	}
+
+	// --- merge operator ----------------------------------------------------
+	// Analysts can merge trails judged to cover one event.
+	others := proc.SearchBundles("tsunami samoa", 3)
+	if len(others) > 1 {
+		second, err := proc.Engine().Bundle(others[1].ID)
+		if err == nil {
+			merged := provops.Merge(999_999, b, second, score.DefaultMessageWeights())
+			fmt.Printf("\nmerged bundles %d + %d -> %d messages, %s\n",
+				b.ID(), second.ID(), merged.Size(), strings.Join(merged.SummaryWords(5), ", "))
+		}
+	}
+}

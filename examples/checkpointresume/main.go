@@ -1,0 +1,83 @@
+// Checkpointresume: the stability machinery of Section V as a
+// crash-recovery drill. An engine ingests half a stream, checkpoints,
+// "crashes"; a second engine restores the checkpoint, ingests the rest,
+// and the final state is compared against an uninterrupted reference
+// run — demonstrating exact resume equivalence.
+//
+// Run with:
+//
+//	go run ./examples/checkpointresume
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+
+	"provex/internal/core"
+	"provex/internal/gen"
+)
+
+const (
+	half  = 20_000
+	total = 40_000
+)
+
+func newGen() *gen.Generator {
+	cfg := gen.DefaultConfig()
+	cfg.Seed = 42
+	return gen.New(cfg)
+}
+
+func stripTimers(s core.Stats) core.Stats {
+	s.MatchTime, s.PlaceTime, s.RefineTime = 0, 0, 0
+	return s
+}
+
+func main() {
+	cfg := core.PartialIndexConfig(1500)
+
+	// Reference: one uninterrupted run.
+	fmt.Println("reference run: ingesting", total, "messages without interruption...")
+	gRef := newGen()
+	ref := core.New(cfg, nil, nil)
+	for i := 0; i < total; i++ {
+		ref.Insert(gRef.Next())
+	}
+
+	// Interrupted run: half, checkpoint, "crash", restore, rest.
+	fmt.Println("interrupted run: ingesting", half, "messages, then checkpointing...")
+	gCkpt := newGen()
+	first := core.New(cfg, nil, nil)
+	for i := 0; i < half; i++ {
+		first.Insert(gCkpt.Next())
+	}
+	var ckpt bytes.Buffer
+	if err := first.WriteCheckpoint(&ckpt); err != nil {
+		panic(err)
+	}
+	fmt.Printf("checkpoint: %.1f KB for %d live bundles\n",
+		float64(ckpt.Len())/1024, first.Snapshot().BundlesLive)
+	fmt.Println("simulated crash; restoring into a fresh engine...")
+
+	resumed, err := core.RestoreCheckpoint(cfg, nil, nil, bytes.NewReader(ckpt.Bytes()))
+	if err != nil {
+		panic(err)
+	}
+	for i := half; i < total; i++ {
+		resumed.Insert(gCkpt.Next())
+	}
+
+	// Compare.
+	got := stripTimers(resumed.Snapshot())
+	want := stripTimers(ref.Snapshot())
+	fmt.Printf("\nreference: %d bundles created, %d edges, %d live, %d msgs in memory\n",
+		want.BundlesCreated, want.EdgesCreated, want.BundlesLive, want.MessagesInMemory)
+	fmt.Printf("resumed:   %d bundles created, %d edges, %d live, %d msgs in memory\n",
+		got.BundlesCreated, got.EdgesCreated, got.BundlesLive, got.MessagesInMemory)
+	if reflect.DeepEqual(got, want) {
+		fmt.Println("\nresume equivalence: EXACT — the restored engine is indistinguishable")
+	} else {
+		fmt.Println("\nresume equivalence: FAILED — states diverged")
+	}
+}

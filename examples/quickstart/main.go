@@ -1,0 +1,63 @@
+// Quickstart: index a handful of micro-blog messages (the paper's
+// Table I examples among them), let the provenance engine group them
+// into bundles, then search at bundle granularity and render a
+// provenance trail.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"provex/internal/core"
+	"provex/internal/query"
+	"provex/internal/tweet"
+)
+
+func main() {
+	// A full (unlimited) provenance engine with the default scoring
+	// weights, wrapped in a query processor that also maintains the
+	// conventional message index.
+	proc := query.New(core.New(core.FullIndexConfig(), nil, nil), query.DefaultOptions())
+
+	base := time.Date(2009, 9, 26, 0, 18, 0, 0, time.UTC)
+	posts := []struct {
+		user, text string
+		offset     time.Duration
+	}{
+		{"wharman", "Lester down #redsox", 0},
+		{"amaliebenjamin", "Lester getting an ovation from the #Yankee Stadium crowd as he gets to his feet. #redsox", 2 * time.Minute},
+		{"abcdude", "Classy. Way it should be RT @AmalieBenjamin: Lester getting an ovation from the #Yankee Stadium crowd as he gets to his feet. #redsox", 5 * time.Minute},
+		{"bren924", "WHEW!! RT @MLB: X-rays on Lester negative. Contusion of the right quad. Day to Day. #redsox", 48 * time.Minute},
+		{"tonystarks40", "Yankee Magic, you can only find it at Yankee Stadium! THE YANKEES WIN!!!", 60 * time.Minute},
+		{"baldpunk", "#Redsox - glee! - I put up awesome NY Yankee Stadium photos http://bit.ly/Uvcpr", 65 * time.Minute},
+		{"trader", "stocks rally on earnings #markets", 70 * time.Minute},
+	}
+	for i, p := range posts {
+		res := proc.Insert(tweet.Parse(tweet.ID(i+1), p.user, base.Add(p.offset), p.text))
+		fmt.Printf("msg %d -> bundle %d (new=%v, conn=%s)\n", i+1, res.Bundle, res.Created, res.Conn)
+	}
+
+	fmt.Println("\n--- provenance bundle search: 'yankee redsox' (Fig. 2 behaviour) ---")
+	hits := proc.SearchBundles("yankee redsox", 5)
+	for _, h := range hits {
+		fmt.Println(" ", h)
+	}
+
+	if len(hits) > 0 {
+		fmt.Println("\n--- provenance trail of the top bundle ---")
+		trail, err := proc.Trail(hits[0].ID)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Print(trail)
+	}
+
+	fmt.Println("\n--- conventional message search: 'yankee redsox' (Fig. 1 behaviour) ---")
+	for _, h := range proc.SearchMessages("yankee redsox", 5) {
+		fmt.Printf("  %5.2f  %s\n", h.Score, h.Msg)
+	}
+}

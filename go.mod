@@ -1,0 +1,3 @@
+module provex
+
+go 1.22

@@ -1,0 +1,199 @@
+package core
+
+// Engine checkpointing: serialise the live in-memory state (bundle
+// pool, simulated clock, counters) so a stream processor can restart
+// without re-ingesting the stream — the "stability requirement of
+// provenance discovery" of the paper's Section V. The summary index is
+// NOT stored: it is a deterministic function of the pool's bundles and
+// is rebuilt on restore, which keeps checkpoints small and immune to
+// index-format drift.
+//
+// Format (little-endian, varint-coded):
+//
+//	magic "PROVCKP1"
+//	version byte
+//	clock unix-nanos (varint)
+//	engine counters: messages, edges, conn counts [5]
+//	pool counters: nextID, created, refines, deletedTiny,
+//	               flushedClosed, flushedRanked
+//	bundle count, then per bundle: payload length, CRC32C, payload
+//	  (bundle.Marshal)
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"time"
+
+	"provex/internal/bundle"
+	"provex/internal/pool"
+	"provex/internal/storage"
+	"provex/internal/sumindex"
+)
+
+var ckptMagic = [8]byte{'P', 'R', 'O', 'V', 'C', 'K', 'P', '1'}
+
+const ckptVersion = 1
+
+// ErrBadCheckpoint reports an unreadable or corrupt checkpoint stream.
+var ErrBadCheckpoint = errors.New("core: bad checkpoint")
+
+var ckptCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// WriteCheckpoint serialises the engine's in-memory state to w.
+// The engine must not ingest concurrently.
+func (e *Engine) WriteCheckpoint(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(ckptMagic[:]); err != nil {
+		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	if err := bw.WriteByte(ckptVersion); err != nil {
+		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	var hdr []byte
+	hdr = binary.AppendVarint(hdr, e.clock.Now().UnixNano())
+	hdr = binary.AppendUvarint(hdr, uint64(e.messages.Value()))
+	hdr = binary.AppendUvarint(hdr, uint64(e.edges.Value()))
+	for i := range e.connCounts {
+		hdr = binary.AppendUvarint(hdr, uint64(e.connCounts[i].Value()))
+	}
+	ps := e.pool.Stats()
+	hdr = binary.AppendUvarint(hdr, uint64(e.pool.NextID()))
+	hdr = binary.AppendUvarint(hdr, uint64(ps.Created))
+	hdr = binary.AppendUvarint(hdr, uint64(ps.Refines))
+	hdr = binary.AppendUvarint(hdr, uint64(ps.DeletedTiny))
+	hdr = binary.AppendUvarint(hdr, uint64(ps.FlushedClosed))
+	hdr = binary.AppendUvarint(hdr, uint64(ps.FlushedRanked))
+	hdr = binary.AppendUvarint(hdr, uint64(e.pool.Inserts()))
+	hdr = binary.AppendUvarint(hdr, uint64(e.pool.Len()))
+	if _, err := bw.Write(hdr); err != nil {
+		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+
+	var werr error
+	e.pool.All(func(b *bundle.Bundle) {
+		if werr != nil {
+			return
+		}
+		payload := b.Marshal()
+		var rec []byte
+		rec = binary.AppendUvarint(rec, uint64(len(payload)))
+		rec = binary.AppendUvarint(rec, uint64(crc32.Checksum(payload, ckptCRC)))
+		if _, err := bw.Write(rec); err != nil {
+			werr = err
+			return
+		}
+		if _, err := bw.Write(payload); err != nil {
+			werr = err
+		}
+	})
+	if werr != nil {
+		return fmt.Errorf("core: checkpoint: %w", werr)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// RestoreCheckpoint rebuilds an engine from a checkpoint written by
+// WriteCheckpoint. cfg, store and onEdge play the same roles as in New
+// and must match the original engine's configuration for the restored
+// behaviour to be equivalent (the checkpoint carries state, not
+// configuration). The summary index is reconstructed from the restored
+// bundles; stage timers restart from zero (they measure the current
+// process, not the stream's history); onEdge is not replayed for
+// historical edges.
+func RestoreCheckpoint(cfg Config, store *storage.Store, onEdge EdgeFunc, r io.Reader) (*Engine, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil || magic != ckptMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadCheckpoint)
+	}
+	version, err := br.ReadByte()
+	if err != nil || version != ckptVersion {
+		return nil, fmt.Errorf("%w: unsupported version", ErrBadCheckpoint)
+	}
+
+	clockNanos, err := binary.ReadVarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: truncated header", ErrBadCheckpoint)
+	}
+	readU := func() uint64 {
+		if err != nil {
+			return 0
+		}
+		var v uint64
+		v, err = binary.ReadUvarint(br)
+		return v
+	}
+	messages := readU()
+	edges := readU()
+	var conns [5]uint64
+	for i := range conns {
+		conns[i] = readU()
+	}
+	nextID := readU()
+	created := readU()
+	refines := readU()
+	deletedTiny := readU()
+	flushedClosed := readU()
+	flushedRanked := readU()
+	inserts := readU()
+	bundleCount := readU()
+	if err != nil {
+		return nil, fmt.Errorf("%w: truncated header", ErrBadCheckpoint)
+	}
+
+	e := New(cfg, store, onEdge)
+	e.clock.AdvanceTo(time.Unix(0, clockNanos).UTC())
+	e.messages.Add(int64(messages))
+	e.edges.Add(int64(edges))
+	for i := range conns {
+		e.connCounts[i].Add(int64(conns[i]))
+	}
+	e.pool.SetStats(pool.Stats{
+		Created:       int64(created),
+		Refines:       int64(refines),
+		DeletedTiny:   int64(deletedTiny),
+		FlushedClosed: int64(flushedClosed),
+		FlushedRanked: int64(flushedRanked),
+	})
+	e.pool.SetInserts(int(inserts))
+
+	for i := uint64(0); i < bundleCount; i++ {
+		length, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: truncated at bundle %d", ErrBadCheckpoint, i)
+		}
+		wantCRC, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: truncated at bundle %d", ErrBadCheckpoint, i)
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return nil, fmt.Errorf("%w: truncated at bundle %d", ErrBadCheckpoint, i)
+		}
+		if crc32.Checksum(payload, ckptCRC) != uint32(wantCRC) {
+			return nil, fmt.Errorf("%w: checksum mismatch at bundle %d", ErrBadCheckpoint, i)
+		}
+		b, err := bundle.Unmarshal(payload)
+		if err != nil {
+			return nil, fmt.Errorf("%w: bundle %d: %v", ErrBadCheckpoint, i, err)
+		}
+		e.pool.Adopt(b)
+		// Rebuild summary-index postings from the bundle's messages.
+		for _, n := range b.Nodes() {
+			e.index.Observe(sumindex.BundleID(b.ID()), n.Doc)
+		}
+	}
+	e.pool.SetNextID(bundle.ID(nextID))
+	// Detect trailing garbage (an appended or doubled checkpoint).
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("%w: trailing data", ErrBadCheckpoint)
+	}
+	return e, nil
+}

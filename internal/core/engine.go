@@ -1,0 +1,345 @@
+// Package core assembles the provenance-based indexing engine of the
+// paper's Figure 4: an in-memory processing unit (summary index +
+// bundle pool) in front of an on-disk bundle storage back-end.
+//
+// Engine.Insert is Algorithm 1 end to end: fetch candidate bundles from
+// the summary index, pick the best by Equation 1, allocate the message
+// inside the chosen bundle by Algorithm 2 / Equation 5 (or open a new
+// bundle), update the summary index, and run the periodic Algorithm 3
+// pool refinement. Each stage is timed separately, which is what the
+// paper's Figure 13 plots.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"provex/internal/bundle"
+	"provex/internal/metrics"
+	"provex/internal/pool"
+	"provex/internal/score"
+	"provex/internal/storage"
+	"provex/internal/stream"
+	"provex/internal/sumindex"
+	"provex/internal/tokenizer"
+	"provex/internal/tweet"
+)
+
+// Config assembles an engine. The three method variants of the paper's
+// Section VI-A map onto it as:
+//
+//   - Full Index:    FullIndexConfig()    — no pool limits at all;
+//   - Partial Index: PartialIndexConfig() — pool limit + refinement;
+//   - Bundle Limit:  BundleLimitConfig()  — partial + max bundle size.
+type Config struct {
+	Pool          pool.Config
+	MsgWeights    score.MessageWeights
+	BundleWeights score.BundleWeights
+
+	// MaxCandidates caps how many summary-index candidates are scored
+	// per message, taking them in descending indicant-hit order.
+	// 0 scores every candidate (the paper's literal description); the
+	// default config caps at 256, which the candidate-fetch ablation
+	// shows is accuracy-neutral while bounding per-message match cost
+	// (candidates are hit-ranked, and low-hit keyword-only candidates
+	// cannot pass the Eq. 1 threshold under the default weights).
+	MaxCandidates int
+
+	// MaxFanout skips summary-index postings longer than this during
+	// candidate fetch (0 = unlimited). Hyper-frequent keywords appear
+	// in thousands of bundles and carry no routing signal; with the
+	// default Eq. 1 weights a keyword-only candidate cannot pass the
+	// join threshold anyway, so the cut changes at most tie ranking
+	// while keeping ingest cost bounded per message.
+	MaxFanout int
+}
+
+// FullIndexConfig is the unlimited baseline whose output the paper
+// treats as provenance ground truth.
+func FullIndexConfig() Config {
+	return Config{
+		MsgWeights:    score.DefaultMessageWeights(),
+		BundleWeights: score.DefaultBundleWeights(),
+		MaxFanout:     1024,
+		MaxCandidates: 256,
+	}
+}
+
+// PartialIndexConfig bounds the pool at maxBundles with the default
+// refinement policy (the paper's "Partial Index" with limit 10k).
+func PartialIndexConfig(maxBundles int) Config {
+	cfg := FullIndexConfig()
+	p := pool.DefaultConfig()
+	p.MaxBundles = maxBundles
+	p.LowerLimit = maxBundles / 4
+	// Scale the periodic pool check with the pool so overshoot between
+	// checks stays a bounded fraction of the limit at any scale.
+	p.CheckEvery = clamp(maxBundles/8, 64, 4096)
+	cfg.Pool = p
+	return cfg
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// BundleLimitConfig adds the bundle size constraint on top of the
+// partial index (the paper's "Bundle Limit" variant).
+func BundleLimitConfig(maxBundles, maxBundleSize int) Config {
+	cfg := PartialIndexConfig(maxBundles)
+	cfg.Pool.MaxBundleSize = maxBundleSize
+	return cfg
+}
+
+// InsertResult reports where a message landed.
+type InsertResult struct {
+	Bundle  bundle.ID
+	Node    int
+	Created bool // a fresh bundle was opened for the message
+	Conn    score.ConnectionType
+}
+
+// EdgeFunc observes each provenance connection as it is discovered.
+// The evaluation harness collects the per-method edge sets here.
+type EdgeFunc func(parent, child tweet.ID, conn score.ConnectionType)
+
+// Stats is a point-in-time engine snapshot.
+type Stats struct {
+	Messages       int64
+	BundlesCreated int64
+	BundlesLive    int
+	EdgesCreated   int64
+	ConnCounts     map[string]int64
+
+	MemBundles       int64 // analytic bytes in the pool
+	MemIndex         int64 // analytic bytes in the summary index
+	MessagesInMemory int64
+
+	MatchTime  time.Duration
+	PlaceTime  time.Duration
+	RefineTime time.Duration
+
+	Pool pool.Stats
+}
+
+// MemTotal is the full in-memory footprint estimate — Figure 11(a)'s
+// metric.
+func (s Stats) MemTotal() int64 { return s.MemBundles + s.MemIndex }
+
+// Engine is the provenance indexing engine. Not safe for concurrent
+// use: the paper's pipeline is a single temporally ordered stream.
+type Engine struct {
+	cfg   Config
+	pool  *pool.Pool
+	index *sumindex.Index
+	store *storage.Store // optional; nil drops flushed bundles
+	clock stream.Clock
+
+	onEdge EdgeFunc
+
+	matchTimer  metrics.StageTimer
+	placeTimer  metrics.StageTimer
+	refineTimer metrics.StageTimer
+
+	messages   metrics.Counter
+	edges      metrics.Counter
+	connCounts [5]metrics.Counter
+
+	flushErr error // first storage failure, surfaced by Err
+
+	// onFlush observes each bundle successfully persisted to the disk
+	// back-end (archive indexing). Nil when unused.
+	onFlush func(*bundle.Bundle)
+}
+
+// New builds an engine. store may be nil (flushed bundles are then
+// discarded — sufficient for pure indexing experiments); onEdge may be
+// nil.
+func New(cfg Config, store *storage.Store, onEdge EdgeFunc) *Engine {
+	if onEdge == nil {
+		onEdge = func(tweet.ID, tweet.ID, score.ConnectionType) {}
+	}
+	e := &Engine{cfg: cfg, index: sumindex.New(), store: store, onEdge: onEdge}
+	e.index.SetMaxFanout(cfg.MaxFanout)
+	e.pool = pool.New(cfg.Pool, e.evict)
+	return e
+}
+
+// SetKeywordClass toggles the summary index's keyword class (ablation).
+func (e *Engine) SetKeywordClass(on bool) {
+	e.index.SetEnabled(sumindex.ClassKeyword, on)
+}
+
+// evict is the pool's eviction hook: drop the bundle's postings from
+// the summary index and persist flushed bundles to the back-end.
+func (e *Engine) evict(b *bundle.Bundle, _ pool.EvictReason, flush bool) {
+	tags, urls, keys := b.Indicants()
+	users := make([]string, 0, 8)
+	seen := map[string]bool{}
+	for _, n := range b.Nodes() {
+		u := n.Doc.Msg.User
+		if !seen[u] {
+			seen[u] = true
+			users = append(users, u)
+		}
+	}
+	e.index.Forget(sumindex.BundleID(b.ID()), tags, urls, keys, users)
+	if flush && e.store != nil {
+		if err := e.store.Put(b); err != nil {
+			if e.flushErr == nil {
+				e.flushErr = fmt.Errorf("core: flush bundle %d: %w", b.ID(), err)
+			}
+			return
+		}
+		if e.onFlush != nil {
+			e.onFlush(b)
+		}
+	}
+}
+
+// SetFlushObserver registers a hook invoked after each bundle is
+// persisted to the disk back-end. The query module's archive index
+// subscribes here. Must be set before ingest starts.
+func (e *Engine) SetFlushObserver(fn func(*bundle.Bundle)) { e.onFlush = fn }
+
+// Err returns the first background failure (storage flush), nil when
+// healthy.
+func (e *Engine) Err() error { return e.flushErr }
+
+// Insert runs Algorithm 1 for one message and returns where it landed.
+// Messages must arrive in stream (date) order.
+func (e *Engine) Insert(m *tweet.Message) InsertResult {
+	doc := score.Doc{Msg: m, Keywords: tokenizer.Keywords(m.Text)}
+	e.clock.Observe(m)
+	e.messages.Inc()
+
+	// Step 1+2a: fetch candidates and pick the best bundle by Eq. 1.
+	var chosen *bundle.Bundle
+	e.matchTimer.Time(func() {
+		chosen = e.matchBundle(doc)
+	})
+
+	// Step 2b: allocate inside the bundle (Algorithm 2) or open a new
+	// one.
+	var res InsertResult
+	e.placeTimer.Time(func() {
+		if chosen == nil {
+			chosen = e.pool.Create()
+			res.Created = true
+		}
+		res.Bundle = chosen.ID()
+		res.Node = chosen.Add(e.cfg.MsgWeights, doc)
+		node := chosen.Nodes()[res.Node]
+		res.Conn = node.Conn
+		if node.Parent != bundle.NoParent {
+			parent := chosen.Nodes()[node.Parent].Doc.Msg.ID
+			e.edges.Inc()
+			e.connCounts[node.Conn].Inc()
+			e.onEdge(parent, m.ID, node.Conn)
+		}
+	})
+
+	// Step 3: update the summary index with the new message's indicants.
+	e.index.Observe(sumindex.BundleID(chosen.ID()), doc)
+
+	// Periodic maintenance (Section V-B).
+	if e.pool.NoteInsert(chosen) {
+		e.refineTimer.Time(func() {
+			e.pool.MaybeRefine(e.clock.Now())
+		})
+	}
+	return res
+}
+
+// matchBundle scores the summary-index candidates with Eq. 1 and
+// returns the best open bundle above the threshold, nil when none
+// qualifies.
+func (e *Engine) matchBundle(doc score.Doc) *bundle.Bundle {
+	cands := e.index.Candidates(doc)
+	if e.cfg.MaxCandidates > 0 && len(cands) > e.cfg.MaxCandidates {
+		cands = cands[:e.cfg.MaxCandidates]
+	}
+	var best *bundle.Bundle
+	bestScore := e.cfg.BundleWeights.Threshold
+	for _, c := range cands {
+		b := e.pool.Get(bundle.ID(c.ID))
+		if b == nil || b.Closed() {
+			continue
+		}
+		s := score.BundleSim(e.cfg.BundleWeights, doc, b)
+		if s > bestScore || (s == bestScore && best != nil && b.ID() < best.ID()) {
+			bestScore, best = s, b
+		}
+	}
+	return best
+}
+
+// InsertAll drains src through the engine, returning the number of
+// messages ingested.
+func (e *Engine) InsertAll(src stream.Source) (int, error) {
+	n := 0
+	for {
+		m, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		e.Insert(m)
+		n++
+	}
+}
+
+// Pool exposes the live bundle pool (read-only use by query/eval).
+func (e *Engine) Pool() *pool.Pool { return e.pool }
+
+// SummaryIndex exposes the summary index (read-only use by query).
+func (e *Engine) SummaryIndex() *sumindex.Index { return e.index }
+
+// Store returns the disk back-end, nil when the engine runs memory-only.
+func (e *Engine) Store() *storage.Store { return e.store }
+
+// Now is the simulated current time (the newest message date seen).
+func (e *Engine) Now() time.Time { return e.clock.Now() }
+
+// Bundle resolves id in the pool first, then the disk back-end.
+func (e *Engine) Bundle(id bundle.ID) (*bundle.Bundle, error) {
+	if b := e.pool.Get(id); b != nil {
+		return b, nil
+	}
+	if e.store != nil {
+		return e.store.Get(id)
+	}
+	return nil, fmt.Errorf("core: bundle %d: %w", id, storage.ErrNotFound)
+}
+
+// Snapshot captures current statistics.
+func (e *Engine) Snapshot() Stats {
+	conn := make(map[string]int64, 4)
+	for c := score.ConnText; c <= score.ConnRT; c++ {
+		conn[c.String()] = e.connCounts[c].Value()
+	}
+	return Stats{
+		Messages:         e.messages.Value(),
+		BundlesCreated:   e.pool.Stats().Created,
+		BundlesLive:      e.pool.Len(),
+		EdgesCreated:     e.edges.Value(),
+		ConnCounts:       conn,
+		MemBundles:       e.pool.MemBytes(),
+		MemIndex:         e.index.MemBytes(),
+		MessagesInMemory: e.pool.MessageCount(),
+		MatchTime:        e.matchTimer.Total(),
+		PlaceTime:        e.placeTimer.Total(),
+		RefineTime:       e.refineTimer.Total(),
+		Pool:             e.pool.Stats(),
+	}
+}

@@ -1,0 +1,30 @@
+package core
+
+import (
+	"testing"
+
+	"provex/internal/gen"
+)
+
+// benchEngine measures steady-state ingest cost per message for one
+// method configuration.
+func benchEngine(b *testing.B, cfg Config) {
+	b.Helper()
+	g := gen.New(gen.DefaultConfig())
+	e := New(cfg, nil, nil)
+	// Warm to steady state so the measurement reflects a loaded pool.
+	for i := 0; i < 20000; i++ {
+		e.Insert(g.Next())
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Insert(g.Next())
+	}
+}
+
+func BenchmarkInsertFullIndex(b *testing.B)    { benchEngine(b, FullIndexConfig()) }
+func BenchmarkInsertPartialIndex(b *testing.B) { benchEngine(b, PartialIndexConfig(1500)) }
+func BenchmarkInsertBundleLimit(b *testing.B) {
+	benchEngine(b, BundleLimitConfig(1500, 300))
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+func ablationScale() Scale {
+	s := testScale()
+	s.Messages = 8000
+	return s
+}
+
+// checkAblation asserts the common structure: a truth row plus the
+// variants, every accuracy/return within [0,1], truth row at 1/1.
+func checkAblation(t *testing.T, tab *Table, wantRows int) {
+	t.Helper()
+	if len(tab.Rows) != wantRows {
+		t.Fatalf("%s: rows = %d, want %d", tab.Title, len(tab.Rows), wantRows)
+	}
+	for i, row := range tab.Rows {
+		acc, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatalf("bad accuracy cell %q", row[1])
+		}
+		ret, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatalf("bad return cell %q", row[2])
+		}
+		if acc < 0 || acc > 1 || ret < 0 || ret > 1 {
+			t.Errorf("%s row %d out of range: %v", tab.Title, i, row)
+		}
+		if i == 0 && (acc != 1 || ret != 1) {
+			t.Errorf("truth row should score 1/1: %v", row)
+		}
+	}
+}
+
+func TestAblationCandidateFetch(t *testing.T) {
+	tab := AblationCandidateFetch(ablationScale())
+	checkAblation(t, tab, 5)
+	// Scoring all candidates must not be less accurate than top-2.
+	all, _ := strconv.ParseFloat(tab.Rows[1][1], 64)
+	top2, _ := strconv.ParseFloat(tab.Rows[4][1], 64)
+	if top2 > all+0.05 {
+		t.Errorf("top-2 accuracy %v above score-all %v", top2, all)
+	}
+}
+
+func TestAblationFreshness(t *testing.T) {
+	checkAblation(t, AblationFreshness(ablationScale()), 4)
+}
+
+func TestAblationRefineTrigger(t *testing.T) {
+	checkAblation(t, AblationRefineTrigger(ablationScale()), 4)
+}
+
+func TestAblationKeywordClass(t *testing.T) {
+	tab := AblationKeywordClass(ablationScale())
+	checkAblation(t, tab, 3)
+	// The bounded Eq.1 keyword term cannot cross the join threshold on
+	// its own, so disabling the class may not lose edges — but it must
+	// never *gain* any.
+	withEdges, _ := strconv.ParseFloat(tab.Rows[1][4], 64)
+	withoutEdges, _ := strconv.ParseFloat(tab.Rows[2][4], 64)
+	if withoutEdges > withEdges {
+		t.Errorf("keyword-off found %v edges, keyword-on %v — off must not gain edges", withoutEdges, withEdges)
+	}
+}

@@ -1,0 +1,278 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// testScale keeps experiment tests fast while preserving the shapes
+// the assertions check.
+func testScale() Scale {
+	return Scale{
+		Messages:      12_000,
+		SweepMessages: 12_000,
+		PoolLimit:     250,
+		BundleLimit:   150,
+		SweepLimits:   []int{50, 250, 1000},
+		Checkpoints:   4,
+		Seed:          1,
+	}
+}
+
+// sharedRun caches one three-method pass for all figure-view tests.
+var sharedRun *ThreeResult
+
+func getRun(t *testing.T) *ThreeResult {
+	t.Helper()
+	if sharedRun == nil {
+		sharedRun = RunThreeMethods(testScale())
+	}
+	return sharedRun
+}
+
+func parseCell(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q not numeric: %v", s, err)
+	}
+	return v
+}
+
+func TestRunThreeMethodsSeries(t *testing.T) {
+	r := getRun(t)
+	if len(r.Checkpoints) != 4 {
+		t.Fatalf("checkpoints = %v", r.Checkpoints)
+	}
+	last := len(r.Checkpoints) - 1
+
+	fullB := r.Series[MethodFull+"/bundles"]
+	for i := 1; i < len(fullB); i++ {
+		if fullB[i] < fullB[i-1] {
+			t.Error("full index bundle count must grow monotonically")
+		}
+	}
+	if r.at(MethodPartial+"/bundles", last) > float64(testScale().PoolLimit)*1.5 {
+		t.Errorf("partial pool %v far above limit %d", r.at(MethodPartial+"/bundles", last), testScale().PoolLimit)
+	}
+	if fullB[last] <= r.at(MethodPartial+"/bundles", last) {
+		t.Error("full index should hold more bundles than partial at the end")
+	}
+
+	// Memory ordering at the end of the stream: full > partial variants.
+	if r.at(MethodFull+"/memMB", last) <= r.at(MethodPartial+"/memMB", last) {
+		t.Error("full index should cost more memory than partial")
+	}
+	// Accuracy/return in range.
+	for _, m := range []string{MethodPartial, MethodLimit} {
+		for i := range r.Checkpoints {
+			a, ret := r.at(m+"/accuracy", i), r.at(m+"/return", i)
+			if a < 0 || a > 1 || ret < 0 || ret > 1 {
+				t.Fatalf("%s metrics out of range: acc=%v ret=%v", m, a, ret)
+			}
+		}
+		if r.at(m+"/accuracy", last) < 0.5 {
+			t.Errorf("%s final accuracy %v implausibly low", m, r.at(m+"/accuracy", last))
+		}
+	}
+	if r.Final[MethodFull].EdgesCreated == 0 {
+		t.Error("ground truth found no edges")
+	}
+}
+
+func TestFig6Tables(t *testing.T) {
+	tables := Fig6(testScale())
+	if len(tables) != 2 {
+		t.Fatalf("Fig6 returned %d tables", len(tables))
+	}
+	var total int64
+	var small, large int64
+	for _, row := range tables[0].Rows {
+		n, _ := strconv.ParseInt(row[1], 10, 64)
+		total += n
+		if row[0] == "1" || row[0] == "2" {
+			small += n
+		}
+		if row[0] == "overflow" || len(row[0]) >= 3 {
+			large += n
+		}
+	}
+	if total == 0 {
+		t.Fatal("no bundles in size distribution")
+	}
+	if small < total/3 {
+		t.Errorf("paper shape violated: small bundles %d of %d (expect a remarkable proportion)", small, total)
+	}
+	if out := tables[0].Render(); !strings.Contains(out, "Fig 6(a)") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	tab := Fig7(getRun(t))
+	if len(tab.Rows) == 0 {
+		t.Fatal("empty Fig7")
+	}
+	lastRow := tab.Rows[len(tab.Rows)-1]
+	full := parseCell(t, lastRow[1])
+	partial := parseCell(t, lastRow[2])
+	if full <= partial {
+		t.Errorf("Fig7 final: full %v <= partial %v", full, partial)
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	tabs := Fig8(getRun(t))
+	if len(tabs) != 2 {
+		t.Fatal("Fig8 should return accuracy and return tables")
+	}
+	for _, tab := range tabs {
+		for _, row := range tab.Rows {
+			for _, cell := range row[1:3] {
+				v := parseCell(t, cell)
+				if v < 0 || v > 1 {
+					t.Errorf("%s: metric %v out of [0,1]", tab.Title, v)
+				}
+			}
+		}
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	tab := Fig9(testScale())
+	if len(tab.Columns) != 1+len(testScale().SweepLimits) {
+		t.Fatalf("columns = %v", tab.Columns)
+	}
+	last := tab.Rows[len(tab.Rows)-1]
+	smallest := parseCell(t, last[1])
+	biggest := parseCell(t, last[len(last)-1])
+	if biggest < smallest {
+		t.Errorf("bigger pool should not be less accurate: %v vs %v", biggest, smallest)
+	}
+	if biggest < 0.5 {
+		t.Errorf("largest pool accuracy %v implausibly low", biggest)
+	}
+}
+
+func TestFig10Showcases(t *testing.T) {
+	tab, trails := Fig10(testScale())
+	if len(tab.Rows) != 2 {
+		t.Fatalf("Fig10 rows = %v", tab.Rows)
+	}
+	for _, row := range tab.Rows {
+		if row[1] == "-" {
+			t.Errorf("showcase %q not found", row[0])
+		}
+	}
+	if len(trails) != 2 {
+		t.Fatalf("trails = %d, want 2", len(trails))
+	}
+	joined := strings.Join(trails, "\n")
+	if !strings.Contains(joined, "bundle") {
+		t.Error("trails missing bundle render")
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	tabs := Fig11(getRun(t))
+	if len(tabs) != 2 {
+		t.Fatal("Fig11 should return MB and count tables")
+	}
+	lastMem := tabs[0].Rows[len(tabs[0].Rows)-1]
+	if parseCell(t, lastMem[1]) <= parseCell(t, lastMem[2]) {
+		t.Error("full memory should exceed partial at stream end")
+	}
+	lastCnt := tabs[1].Rows[len(tabs[1].Rows)-1]
+	fullCnt := parseCell(t, lastCnt[1])
+	if int(fullCnt) != testScale().Messages {
+		t.Errorf("full keeps all messages: got %v, want %d", fullCnt, testScale().Messages)
+	}
+}
+
+func TestFig12And13Monotone(t *testing.T) {
+	r := getRun(t)
+	t12 := Fig12(r)
+	prev := -1.0
+	for _, row := range t12.Rows {
+		v := parseCell(t, row[1])
+		if v < prev {
+			t.Error("cumulative time decreased")
+		}
+		prev = v
+	}
+	t13 := Fig13(r)
+	lastRow := t13.Rows[len(t13.Rows)-1]
+	match, place := parseCell(t, lastRow[1]), parseCell(t, lastRow[2])
+	if match <= 0 || place <= 0 {
+		t.Errorf("stage times not positive: %v", lastRow)
+	}
+}
+
+func TestConnBreakdown(t *testing.T) {
+	tab := ConnBreakdown(getRun(t))
+	if len(tab.Rows) == 0 {
+		t.Fatal("empty breakdown")
+	}
+	var total float64
+	for _, row := range tab.Rows {
+		total += parseCell(t, row[1])
+	}
+	want := getRun(t).Final[MethodFull].EdgesCreated
+	if int64(total) != want {
+		t.Errorf("breakdown sums to %v, want %d", total, want)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{Title: "T", Columns: []string{"a", "bb"}, Notes: "n"}
+	tab.AddRow(1, 2.5)
+	out := tab.Render()
+	for _, want := range []string{"== T ==", "a", "bb", "1", "2.500", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestScaleHelpers(t *testing.T) {
+	s := PaperScale()
+	if s.Messages != 700_000 || s.SweepMessages != 4_250_000 || s.PoolLimit != 10_000 {
+		t.Errorf("PaperScale = %+v", s)
+	}
+	if len(s.SweepLimits) != 7 || s.SweepLimits[0] != 5_000 || s.SweepLimits[6] != 100_000 {
+		t.Errorf("PaperScale sweep limits = %v", s.SweepLimits)
+	}
+	d := DefaultScale()
+	// The default keeps the paper's pool/messages ratio within 2x.
+	paperRatio := float64(PaperScale().PoolLimit) / float64(PaperScale().Messages)
+	defRatio := float64(d.PoolLimit) / float64(d.Messages)
+	if defRatio < paperRatio/2 || defRatio > paperRatio*2 {
+		t.Errorf("default pool ratio %v far from paper's %v", defRatio, paperRatio)
+	}
+}
+
+func TestCheckpointEvery(t *testing.T) {
+	s := Scale{Checkpoints: 4}
+	if got := s.checkpointEvery(100); got != 25 {
+		t.Errorf("checkpointEvery(100) = %d, want 25", got)
+	}
+	if got := s.checkpointEvery(2); got != 1 {
+		t.Errorf("tiny stream stride = %d, want 1", got)
+	}
+	none := Scale{}
+	if got := none.checkpointEvery(100); got != 100 {
+		t.Errorf("zero checkpoints stride = %d, want 100 (single sample)", got)
+	}
+}
+
+func TestShowcaseConfigHasScripts(t *testing.T) {
+	cfg := testScale().showcaseConfig()
+	if len(cfg.Scripts) != 2 {
+		t.Fatalf("showcase scripts = %d, want 2", len(cfg.Scripts))
+	}
+	names := cfg.Scripts[0].Name + " " + cfg.Scripts[1].Name
+	if !strings.Contains(names, "cics") || !strings.Contains(names, "tsunami") {
+		t.Errorf("showcase scripts = %q", names)
+	}
+}

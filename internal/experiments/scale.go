@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"time"
+
+	"provex/internal/gen"
+)
+
+// Scale sizes an experiment run. The paper ingests 700k messages for
+// most figures and 4.25M for the Figure 9 parameter sweep on a 32 GB
+// server; DefaultScale shrinks both by roughly 7× so the whole suite
+// runs in minutes on a laptop, keeping every ratio (pool limit /
+// message count, checkpoints / stream length) intact so the figures
+// keep their shapes. PaperScale reproduces the original sizes.
+type Scale struct {
+	Messages      int   // stream length for Figs 6,7,8,11,12,13
+	SweepMessages int   // stream length for the Fig 9 pool-limit sweep
+	PoolLimit     int   // the paper's 10k bundle pool limitation
+	BundleLimit   int   // max bundle size for the Bundle Limit method
+	SweepLimits   []int // pool limits swept in Fig 9
+	Checkpoints   int   // samples per series
+	Seed          int64
+}
+
+// DefaultScale is the reduced (CI-friendly) configuration: 100k
+// messages ≈ 1/7 of the paper's run, with the pool limit and sweep
+// limits shrunk by the same factor.
+func DefaultScale() Scale {
+	return Scale{
+		Messages:      100_000,
+		SweepMessages: 250_000,
+		PoolLimit:     1500,
+		BundleLimit:   300,
+		SweepLimits:   []int{300, 600, 1200, 1800, 3000, 4200, 6000},
+		Checkpoints:   10,
+		Seed:          1,
+	}
+}
+
+// PaperScale reproduces the paper's sizes: 700k message main runs,
+// 4.25M sweep, pool limit 10k, sweep limits 5k–100k.
+func PaperScale() Scale {
+	return Scale{
+		Messages:      700_000,
+		SweepMessages: 4_250_000,
+		PoolLimit:     10_000,
+		BundleLimit:   500,
+		SweepLimits:   []int{5_000, 10_000, 20_000, 30_000, 50_000, 70_000, 100_000},
+		Checkpoints:   10,
+		Seed:          1,
+	}
+}
+
+// genConfig is the dataset configuration shared by every experiment:
+// the DefaultConfig stream shaped like the paper's 2009 crawl, seeded
+// from the scale.
+func (s Scale) genConfig() gen.Config {
+	cfg := gen.DefaultConfig()
+	cfg.Seed = s.Seed
+	return cfg
+}
+
+// showcaseConfig adds the two scripted events of the paper's Figure 10
+// (the IBM CICS partner conference and the Samoa tsunami, both
+// September 2009) to the organic stream.
+func (s Scale) showcaseConfig() gen.Config {
+	cfg := s.genConfig()
+	// Starts are early in the stream so the showcases are visible at
+	// any run scale (a 10k-message bench run covers ~3.4 simulated
+	// hours at the default 70k msgs/day rate).
+	cfg.Scripts = []gen.EventScript{
+		{
+			Name:     "ibm cics partner conference",
+			Hashtags: []string{"cics", "ibm"},
+			Topic:    []string{"cics", "partner", "conference", "mainframe", "keynote", "session", "announce"},
+			URLs:     2,
+			Start:    30 * time.Minute,
+			HalfLife: 6 * time.Hour,
+			Weight:   25,
+		},
+		{
+			Name:     "samoa tsunami",
+			Hashtags: []string{"tsunami", "samoa"},
+			Topic:    []string{"tsunami", "samoa", "quake", "warning", "rescue", "coast", "relief"},
+			URLs:     3,
+			Start:    90 * time.Minute,
+			HalfLife: 5 * time.Hour,
+			Weight:   40,
+		},
+	}
+	return cfg
+}
+
+// checkpointEvery returns the sampling stride for a stream of n
+// messages.
+func (s Scale) checkpointEvery(n int) int {
+	if s.Checkpoints <= 0 {
+		return n
+	}
+	every := n / s.Checkpoints
+	if every < 1 {
+		every = 1
+	}
+	return every
+}

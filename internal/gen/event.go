@@ -1,0 +1,123 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"provex/internal/tweet"
+)
+
+// event is one topical episode in the simulated platform: a burst of
+// related messages sharing hashtags, short-URLs and topic vocabulary,
+// whose intensity decays exponentially after the burst. Re-shares (RT)
+// within an event form the cascades the provenance model turns into
+// bundle trees.
+type event struct {
+	id       uint64
+	hashtags []string // 1–3 tags, e.g. ["redsox", "yankees"]
+	urls     []string // short links circulating in this event
+	topic    []string // topical vocabulary
+	birth    time.Time
+	halfLife time.Duration // intensity halves each halfLife after birth
+	weight   float64       // base intensity at birth
+	// recent holds a reservoir of messages available for re-sharing.
+	recent []*tweet.Message
+	posted int // total messages emitted for this event
+}
+
+// intensity returns the event's sampling weight at time now: a constant
+// plateau during the initial burst window, exponential decay afterwards.
+func (e *event) intensity(now time.Time) float64 {
+	age := now.Sub(e.birth)
+	if age < 0 {
+		return 0
+	}
+	burst := e.halfLife / 4
+	if age <= burst {
+		return e.weight
+	}
+	decayed := float64(age-burst) / float64(e.halfLife)
+	return e.weight * math.Exp2(-decayed)
+}
+
+// dead reports whether the event's intensity has decayed below the floor
+// and it holds no reason to stay in the active set.
+func (e *event) dead(now time.Time) bool {
+	return e.intensity(now) < 0.01*e.weight
+}
+
+// remember adds m to the re-share reservoir, keeping at most cap
+// elements with reservoir sampling so early (root) messages stay
+// eligible for late re-shares.
+func (e *event) remember(m *tweet.Message, rng *rand.Rand) {
+	const reservoirCap = 32
+	if len(e.recent) < reservoirCap {
+		e.recent = append(e.recent, m)
+		return
+	}
+	if i := rng.Intn(e.posted); i < reservoirCap {
+		e.recent[i] = m
+	}
+}
+
+// pickRT returns a message of this event to re-share, or nil when none
+// is available.
+func (e *event) pickRT(rng *rand.Rand) *tweet.Message {
+	if len(e.recent) == 0 {
+		return nil
+	}
+	return e.recent[rng.Intn(len(e.recent))]
+}
+
+// EventScript pins down an event with fixed, human-readable identity —
+// used to reproduce the showcase bundles of the paper's Figure 10
+// ("IBM CICS partner conference", "Samoa tsunami") and by examples.
+type EventScript struct {
+	Name     string        // label, surfaces in nothing but diagnostics
+	Hashtags []string      // exact hashtags (already normalised, no '#')
+	Topic    []string      // exact topical vocabulary
+	URLs     int           // number of distinct short links to mint
+	Start    time.Duration // offset from stream start
+	HalfLife time.Duration
+	Weight   float64 // burst intensity relative to an average event (1.0)
+	Messages int     // 0 = run by intensity; >0 = emit exactly this many
+}
+
+// scripted is the runtime state of a scripted event.
+type scripted struct {
+	event
+	script    EventScript
+	remaining int
+}
+
+func newScripted(s EventScript, streamStart time.Time, g *Generator) *scripted {
+	ev := &scripted{
+		event: event{
+			id:       g.nextEventID(),
+			hashtags: append([]string(nil), s.Hashtags...),
+			topic:    append([]string(nil), s.Topic...),
+			birth:    streamStart.Add(s.Start),
+			halfLife: s.HalfLife,
+			weight:   s.Weight,
+		},
+		script:    s,
+		remaining: s.Messages,
+	}
+	for i := 0; i < s.URLs; i++ {
+		ev.urls = append(ev.urls, shortURL(g.rng, g.nextURL()))
+	}
+	if ev.halfLife == 0 {
+		ev.halfLife = 6 * time.Hour
+	}
+	if ev.weight == 0 {
+		ev.weight = 1
+	}
+	return ev
+}
+
+// String identifies the event in diagnostics.
+func (e *event) String() string {
+	return fmt.Sprintf("event#%d tags=%v msgs=%d", e.id, e.hashtags, e.posted)
+}

@@ -1,0 +1,234 @@
+// Package pipeline wraps the single-threaded provenance engine in a
+// concurrent service: one writer goroutine owns ingest (the paper's
+// pipeline is inherently sequential — messages must enter in date
+// order), while any number of query goroutines read under a shared
+// lock. This is the "real time" deployment shell around the core: the
+// demo server and live feeds talk to a Service, not to the Engine.
+//
+// The Service also supports periodic durable checkpoints (the paper's
+// stability requirement): every CheckpointEvery messages the engine
+// state is written to CheckpointPath via an atomic temp-file rename, so
+// a crashed process can resume from the last checkpoint without
+// re-ingesting the stream.
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+
+	"provex/internal/bundle"
+	"provex/internal/core"
+	"provex/internal/query"
+	"provex/internal/trending"
+	"provex/internal/tweet"
+)
+
+// ErrClosed is returned by Submit after Stop.
+var ErrClosed = errors.New("pipeline: service closed")
+
+// Options configure a Service.
+type Options struct {
+	// Buffer is the ingest queue capacity; Submit blocks when full
+	// (backpressure), so producers can never outrun memory. 0 uses 1024.
+	Buffer int
+	// CheckpointEvery writes a checkpoint after every n ingested
+	// messages; 0 disables checkpointing.
+	CheckpointEvery int
+	// CheckpointPath is the checkpoint file; required when
+	// CheckpointEvery > 0.
+	CheckpointPath string
+}
+
+// Service is a concurrent facade over a query.Processor. Create with
+// New, feed with Submit, query with the Search/Trail methods, and shut
+// down with Stop.
+type Service struct {
+	opts Options
+	proc *query.Processor
+
+	mu sync.RWMutex // guards proc/engine state
+
+	in     chan *tweet.Message
+	done   chan struct{}
+	stopMu sync.Mutex
+	closed bool
+
+	ingested  int
+	ckptErr   error
+	ckptCount int
+}
+
+// New builds a Service around proc. Call Start before Submit.
+func New(proc *query.Processor, opts Options) *Service {
+	if opts.Buffer <= 0 {
+		opts.Buffer = 1024
+	}
+	return &Service{
+		opts: opts,
+		proc: proc,
+		in:   make(chan *tweet.Message, opts.Buffer),
+		done: make(chan struct{}),
+	}
+}
+
+// Start launches the writer goroutine.
+func (s *Service) Start() {
+	go s.run()
+}
+
+func (s *Service) run() {
+	defer close(s.done)
+	for m := range s.in {
+		s.mu.Lock()
+		s.proc.Insert(m)
+		s.ingested++
+		n := s.ingested
+		s.mu.Unlock()
+		if s.opts.CheckpointEvery > 0 && n%s.opts.CheckpointEvery == 0 {
+			s.checkpoint()
+		}
+	}
+	// Final checkpoint on drain, so Stop leaves durable state.
+	if s.opts.CheckpointEvery > 0 && s.ingested > 0 {
+		s.checkpoint()
+	}
+}
+
+// checkpoint writes engine state to CheckpointPath atomically
+// (temp file + rename). Failures are latched and surfaced by Err.
+func (s *Service) checkpoint() {
+	tmp := s.opts.CheckpointPath + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		s.setCkptErr(err)
+		return
+	}
+	s.mu.RLock()
+	err = s.proc.Engine().WriteCheckpoint(f)
+	s.mu.RUnlock()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, s.opts.CheckpointPath)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		s.setCkptErr(err)
+		return
+	}
+	s.mu.Lock()
+	s.ckptCount++
+	s.mu.Unlock()
+}
+
+func (s *Service) setCkptErr(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ckptErr == nil {
+		s.ckptErr = fmt.Errorf("pipeline: checkpoint: %w", err)
+	}
+}
+
+// Submit enqueues one message for ingest, blocking when the buffer is
+// full. Messages must be submitted in stream (date) order.
+func (s *Service) Submit(m *tweet.Message) error {
+	s.stopMu.Lock()
+	if s.closed {
+		s.stopMu.Unlock()
+		return ErrClosed
+	}
+	// Hold stopMu across the send so Stop cannot close the channel
+	// between the check and the send.
+	defer s.stopMu.Unlock()
+	s.in <- m
+	return nil
+}
+
+// Stop drains the queue, waits for the writer to finish (including the
+// final checkpoint) and returns the first background error, if any.
+func (s *Service) Stop() error {
+	s.stopMu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.in)
+	}
+	s.stopMu.Unlock()
+	<-s.done
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.ckptErr != nil {
+		return s.ckptErr
+	}
+	return s.proc.Engine().Err()
+}
+
+// Err surfaces the first background failure without stopping.
+func (s *Service) Err() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.ckptErr != nil {
+		return s.ckptErr
+	}
+	return s.proc.Engine().Err()
+}
+
+// Ingested returns how many messages the writer has processed.
+func (s *Service) Ingested() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ingested
+}
+
+// Checkpoints returns how many checkpoints have been written.
+func (s *Service) Checkpoints() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ckptCount
+}
+
+// Snapshot returns engine statistics under the read lock.
+func (s *Service) Snapshot() core.Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.proc.Engine().Snapshot()
+}
+
+// SearchBundles answers a provenance bundle query (Eq. 7) under the
+// read lock.
+func (s *Service) SearchBundles(q string, k int) []query.BundleHit {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.proc.SearchBundles(q, k)
+}
+
+// SearchMessages answers a conventional message query under the read
+// lock.
+func (s *Service) SearchMessages(q string, k int) []query.MessageHit {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.proc.SearchMessages(q, k)
+}
+
+// Trail renders a bundle's provenance forest under the read lock.
+func (s *Service) Trail(id bundle.ID) (string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.proc.Trail(id)
+}
+
+// Bundle resolves a bundle (pool or disk) under the read lock.
+func (s *Service) Bundle(id bundle.ID) (*bundle.Bundle, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.proc.Bundle(id)
+}
+
+// Trending returns the hottest live bundles under the read lock.
+func (s *Service) Trending(k int) []trending.Topic {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.proc.Trending(k)
+}

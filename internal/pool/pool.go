@@ -1,0 +1,275 @@
+// Package pool implements the in-memory bundle pool of the paper's
+// framework and its maintenance policy (Section V-B, Algorithm 3): a
+// periodic refinement that directly deletes aging tiny bundles, flushes
+// aging closed bundles to the disk back-end, and ranks the remainder by
+// the Equation 6 eviction score G(B) = age + 1/|B|, eliminating from
+// the top until the pool is back under its bound.
+//
+// The paper deletes second-stage victims outright (Algorithm 3 lines
+// 15–19) while its prose says "median bundles are backup onto disk";
+// we follow the prose — second-stage victims are flushed, not dropped —
+// since that strictly preserves more provenance at identical pool size.
+// DESIGN.md records this reading.
+package pool
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"provex/internal/bundle"
+	"provex/internal/score"
+)
+
+// Config is the maintenance policy. The zero value disables every
+// limit — the Full Index baseline.
+type Config struct {
+	// MaxBundles is the bundle pool limitation M; 0 = unlimited.
+	// Refinement triggers when the pool exceeds it.
+	MaxBundles int
+	// RefineSize R: bundles smaller than this AND older than RefineAge
+	// are deleted directly as "aging tiny".
+	RefineSize int
+	// RefineAge T: the age beyond which a quiet bundle is a
+	// refinement victim candidate.
+	RefineAge time.Duration
+	// LowerLimit is the minimum number of bundles each refinement pass
+	// must remove (the paper's refine_lower_limit); it stops the pool
+	// from hovering at the boundary and re-scanning every insert.
+	LowerLimit int
+	// MaxBundleSize closes bundles that reach this many messages
+	// (Section V-B's bundle size constraint); 0 = unlimited.
+	MaxBundleSize int
+	// CheckEvery throttles the pool-status check to every n inserts;
+	// 0 defaults to 1024.
+	CheckEvery int
+}
+
+// DefaultConfig mirrors the paper's experimental setting: pool limit
+// 10k, refinement drops at least 1/4 of the limit, tiny means < 3
+// messages, aging means quiet for 24 simulated hours.
+func DefaultConfig() Config {
+	return Config{
+		MaxBundles: 10000,
+		RefineSize: 3,
+		RefineAge:  24 * time.Hour,
+		LowerLimit: 2500,
+		CheckEvery: 1024,
+	}
+}
+
+// EvictReason classifies why a bundle left the pool.
+type EvictReason uint8
+
+// Eviction reasons.
+const (
+	EvictAgingTiny EvictReason = iota // deleted: old and below RefineSize
+	EvictClosed                       // flushed: old and closed
+	EvictRanked                       // flushed: top of the G(B) ranking
+)
+
+// String names the reason.
+func (r EvictReason) String() string {
+	switch r {
+	case EvictAgingTiny:
+		return "aging-tiny"
+	case EvictClosed:
+		return "closed"
+	case EvictRanked:
+		return "ranked"
+	default:
+		return fmt.Sprintf("reason%d", uint8(r))
+	}
+}
+
+// EvictFunc receives each evicted bundle. flush reports whether the
+// bundle should be persisted to the disk back-end (true) or dropped
+// (false). The engine hooks summary-index cleanup and storage here.
+type EvictFunc func(b *bundle.Bundle, reason EvictReason, flush bool)
+
+// Stats counts pool activity.
+type Stats struct {
+	Created       int64
+	Refines       int64
+	DeletedTiny   int64
+	FlushedClosed int64
+	FlushedRanked int64
+}
+
+// Pool holds the live bundles. Not safe for concurrent use.
+type Pool struct {
+	cfg     Config
+	bundles map[bundle.ID]*bundle.Bundle
+	nextID  bundle.ID
+	onEvict EvictFunc
+	inserts int
+	stats   Stats
+}
+
+// New creates a pool with the given policy and eviction hook (which may
+// be nil when the caller does not track evictions).
+func New(cfg Config, onEvict EvictFunc) *Pool {
+	if cfg.CheckEvery <= 0 {
+		cfg.CheckEvery = 1024
+	}
+	if onEvict == nil {
+		onEvict = func(*bundle.Bundle, EvictReason, bool) {}
+	}
+	return &Pool{
+		cfg:     cfg,
+		bundles: make(map[bundle.ID]*bundle.Bundle),
+		nextID:  1,
+		onEvict: onEvict,
+	}
+}
+
+// Create allocates a fresh bundle in the pool.
+func (p *Pool) Create() *bundle.Bundle {
+	b := bundle.New(p.nextID)
+	p.bundles[p.nextID] = b
+	p.nextID++
+	p.stats.Created++
+	return b
+}
+
+// Get returns the live bundle with id, nil when absent.
+func (p *Pool) Get(id bundle.ID) *bundle.Bundle { return p.bundles[id] }
+
+// Adopt inserts an existing bundle (checkpoint restore); the ID
+// allocator advances past it so future Create calls never collide.
+// Adopting an ID already in the pool panics.
+func (p *Pool) Adopt(b *bundle.Bundle) {
+	if _, ok := p.bundles[b.ID()]; ok {
+		panic("pool: Adopt of duplicate bundle ID")
+	}
+	p.bundles[b.ID()] = b
+	if b.ID() >= p.nextID {
+		p.nextID = b.ID() + 1
+	}
+}
+
+// SetStats overwrites the activity counters (checkpoint restore).
+func (p *Pool) SetStats(s Stats) { p.stats = s }
+
+// Inserts returns the NoteInsert counter — the phase of the periodic
+// pool check. Checkpoints persist it so a restored engine refines at
+// exactly the stream positions an uninterrupted run would.
+func (p *Pool) Inserts() int { return p.inserts }
+
+// SetInserts overwrites the NoteInsert counter (checkpoint restore).
+func (p *Pool) SetInserts(n int) { p.inserts = n }
+
+// NextID exposes the next bundle ID the pool would allocate — saved in
+// checkpoints so restored engines continue the same ID sequence even
+// when the newest bundles were evicted before the snapshot.
+func (p *Pool) NextID() bundle.ID { return p.nextID }
+
+// SetNextID raises the ID allocator (checkpoint restore); lower values
+// are ignored so Adopt-derived floors stay safe.
+func (p *Pool) SetNextID(id bundle.ID) {
+	if id > p.nextID {
+		p.nextID = id
+	}
+}
+
+// Len is the number of live bundles.
+func (p *Pool) Len() int { return len(p.bundles) }
+
+// Stats returns activity counters.
+func (p *Pool) Stats() Stats { return p.stats }
+
+// All iterates the live bundles in unspecified order.
+func (p *Pool) All(fn func(*bundle.Bundle)) {
+	for _, b := range p.bundles {
+		fn(b)
+	}
+}
+
+// MemBytes sums the analytic memory estimate over live bundles.
+func (p *Pool) MemBytes() int64 {
+	var total int64
+	for _, b := range p.bundles {
+		total += b.MemBytes()
+	}
+	return total
+}
+
+// MessageCount sums the messages held in memory — Figure 11(b)'s
+// hardware-independent memory metric.
+func (p *Pool) MessageCount() int64 {
+	var total int64
+	for _, b := range p.bundles {
+		total += int64(b.Size())
+	}
+	return total
+}
+
+// NoteInsert must be called after every message insertion into b: it
+// applies the bundle size constraint and advances the periodic check
+// counter. It returns true when the caller should run MaybeRefine.
+func (p *Pool) NoteInsert(b *bundle.Bundle) bool {
+	if p.cfg.MaxBundleSize > 0 && !b.Closed() && b.Size() >= p.cfg.MaxBundleSize {
+		b.Close()
+	}
+	p.inserts++
+	return p.inserts%p.cfg.CheckEvery == 0
+}
+
+// MaybeRefine runs the refinement pass if the pool exceeds its bound.
+// It reports whether a pass ran.
+func (p *Pool) MaybeRefine(now time.Time) bool {
+	if p.cfg.MaxBundles <= 0 || len(p.bundles) <= p.cfg.MaxBundles {
+		return false
+	}
+	p.refine(now)
+	return true
+}
+
+// rankedBundle pairs a bundle with its Equation 6 score for the
+// second-stage ranking.
+type rankedBundle struct {
+	b *bundle.Bundle
+	g float64
+}
+
+// refine is Algorithm 3. Stage one deletes aging tiny bundles and
+// flushes aging closed ones; stage two ranks the rest by G(B)
+// descending and flushes from the top until both the lower limit is met
+// and the pool is back under MaxBundles.
+func (p *Pool) refine(now time.Time) {
+	p.stats.Refines++
+	count := 0
+	waiting := make([]rankedBundle, 0, len(p.bundles))
+	for id, b := range p.bundles {
+		age := now.Sub(b.LastUpdate())
+		switch {
+		case age > p.cfg.RefineAge && b.Size() < p.cfg.RefineSize:
+			delete(p.bundles, id)
+			p.onEvict(b, EvictAgingTiny, false)
+			p.stats.DeletedTiny++
+			count++
+		case age > p.cfg.RefineAge && b.Closed():
+			delete(p.bundles, id)
+			p.onEvict(b, EvictClosed, true)
+			p.stats.FlushedClosed++
+			count++
+		default:
+			waiting = append(waiting, rankedBundle{b: b, g: score.EvictionRank(now, b.LastUpdate(), b.Size())})
+		}
+	}
+	sort.Slice(waiting, func(i, j int) bool {
+		if waiting[i].g != waiting[j].g {
+			return waiting[i].g > waiting[j].g
+		}
+		return waiting[i].b.ID() < waiting[j].b.ID()
+	})
+	for _, rb := range waiting {
+		if count >= p.cfg.LowerLimit && len(p.bundles) <= p.cfg.MaxBundles {
+			break
+		}
+		delete(p.bundles, rb.b.ID())
+		p.onEvict(rb.b, EvictRanked, true)
+		p.stats.FlushedRanked++
+		count++
+	}
+}

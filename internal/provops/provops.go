@@ -1,0 +1,290 @@
+// Package provops implements provenance operators over bundles — the
+// paper's stated future work ("the provenance operators built on these
+// provenance bundle and indexing structure could be investigated",
+// Section VII) realised as a query algebra over provenance trails:
+//
+//   - lineage operators: Ancestry, Descendants, Sources, PathToRoot;
+//   - cascade analytics: Depth, Fanout, CascadeStats (size, depth,
+//     breadth profile, structural virality);
+//   - influence: InfluenceRanking orders users by how much downstream
+//     propagation their messages triggered.
+//
+// All operators are read-only over a *bundle.Bundle and deterministic.
+package provops
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"provex/internal/bundle"
+	"provex/internal/score"
+	"provex/internal/tweet"
+)
+
+// NodeRef addresses one message inside a bundle by node index.
+type NodeRef struct {
+	Bundle *bundle.Bundle
+	Index  int
+}
+
+// Msg returns the referenced message.
+func (r NodeRef) Msg() *tweet.Message { return r.Bundle.Nodes()[r.Index].Doc.Msg }
+
+// FindMessage locates the node holding message id, reporting whether it
+// exists in the bundle.
+func FindMessage(b *bundle.Bundle, id tweet.ID) (NodeRef, bool) {
+	for i, n := range b.Nodes() {
+		if n.Doc.Msg.ID == id {
+			return NodeRef{Bundle: b, Index: i}, true
+		}
+	}
+	return NodeRef{}, false
+}
+
+// Ancestry returns the provenance chain from ref's parent up to its
+// root, nearest ancestor first. A root message yields an empty chain.
+func Ancestry(ref NodeRef) []NodeRef {
+	var out []NodeRef
+	nodes := ref.Bundle.Nodes()
+	for p := nodes[ref.Index].Parent; p != bundle.NoParent; p = nodes[p].Parent {
+		out = append(out, NodeRef{Bundle: ref.Bundle, Index: int(p)})
+	}
+	return out
+}
+
+// PathToRoot returns ref followed by its ancestry — the full provenance
+// trail of one message, the unit a "where did this come from" query
+// renders.
+func PathToRoot(ref NodeRef) []NodeRef {
+	return append([]NodeRef{ref}, Ancestry(ref)...)
+}
+
+// Root returns the origin of ref's trail (ref itself when it is a root).
+func Root(ref NodeRef) NodeRef {
+	anc := Ancestry(ref)
+	if len(anc) == 0 {
+		return ref
+	}
+	return anc[len(anc)-1]
+}
+
+// Descendants returns every node reachable downstream of ref (children,
+// grandchildren, ...) in index order — the audience a message reached
+// through re-shares and topical follow-ups.
+func Descendants(ref NodeRef) []NodeRef {
+	nodes := ref.Bundle.Nodes()
+	reach := make([]bool, len(nodes))
+	reach[ref.Index] = true
+	var out []NodeRef
+	// Parents always precede children, so one forward pass suffices.
+	for i := ref.Index + 1; i < len(nodes); i++ {
+		p := nodes[i].Parent
+		if p != bundle.NoParent && reach[p] {
+			reach[i] = true
+			out = append(out, NodeRef{Bundle: ref.Bundle, Index: i})
+		}
+	}
+	return out
+}
+
+// Sources returns the root nodes of the bundle — the paper's "source
+// identification" facet of provenance (multiple sources commonly
+// discuss one breaking event).
+func Sources(b *bundle.Bundle) []NodeRef {
+	var out []NodeRef
+	for _, i := range b.Roots() {
+		out = append(out, NodeRef{Bundle: b, Index: i})
+	}
+	return out
+}
+
+// Depth returns the number of edges from ref up to its root.
+func Depth(ref NodeRef) int { return len(Ancestry(ref)) }
+
+// Fanout returns ref's direct child count.
+func Fanout(ref NodeRef) int { return len(ref.Bundle.Children(ref.Index)) }
+
+// CascadeStats summarises the propagation structure of a bundle.
+type CascadeStats struct {
+	Size      int // messages
+	Trees     int // independent trails (roots)
+	MaxDepth  int // longest root-to-leaf chain (edges)
+	MaxFanout int // widest single node
+	Leaves    int // messages nobody built on
+	// DepthCounts[d] = messages at depth d from their root.
+	DepthCounts []int
+	// Virality is the Wiener-index-style structural virality proxy:
+	// mean depth over non-root nodes. Broadcast-shaped cascades (one
+	// source, flat) score near 1; long conversational chains score
+	// higher.
+	Virality float64
+}
+
+// Cascade computes CascadeStats for the bundle.
+func Cascade(b *bundle.Bundle) CascadeStats {
+	nodes := b.Nodes()
+	st := CascadeStats{Size: len(nodes)}
+	if len(nodes) == 0 {
+		return st
+	}
+	depth := make([]int, len(nodes))
+	fanout := make([]int, len(nodes))
+	var depthSum, nonRoot int
+	for i, n := range nodes {
+		if n.Parent == bundle.NoParent {
+			st.Trees++
+			depth[i] = 0
+		} else {
+			depth[i] = depth[n.Parent] + 1
+			fanout[n.Parent]++
+			depthSum += depth[i]
+			nonRoot++
+		}
+		if depth[i] > st.MaxDepth {
+			st.MaxDepth = depth[i]
+		}
+	}
+	st.DepthCounts = make([]int, st.MaxDepth+1)
+	for i := range nodes {
+		st.DepthCounts[depth[i]]++
+		if fanout[i] == 0 {
+			st.Leaves++
+		}
+		if fanout[i] > st.MaxFanout {
+			st.MaxFanout = fanout[i]
+		}
+	}
+	if nonRoot > 0 {
+		st.Virality = float64(depthSum) / float64(nonRoot)
+	}
+	return st
+}
+
+// String renders the stats compactly.
+func (s CascadeStats) String() string {
+	return fmt.Sprintf("size=%d trees=%d max_depth=%d max_fanout=%d leaves=%d virality=%.2f",
+		s.Size, s.Trees, s.MaxDepth, s.MaxFanout, s.Leaves, s.Virality)
+}
+
+// Influence is one user's propagation footprint inside a bundle.
+type Influence struct {
+	User string
+	// Posts is how many messages the user contributed.
+	Posts int
+	// Triggered is how many direct children other users built on the
+	// user's messages (explicit re-shares and topical follow-ups).
+	Triggered int
+	// Reach is the total downstream subtree size of the user's
+	// messages (excluding the messages themselves).
+	Reach int
+}
+
+// InfluenceRanking orders the bundle's users by Reach, then Triggered,
+// then Posts, then name — the collective-intelligence signal the
+// paper's quality-identification use case builds on.
+func InfluenceRanking(b *bundle.Bundle) []Influence {
+	nodes := b.Nodes()
+	// subtree[i] = descendants of node i; computed right-to-left since
+	// parents precede children.
+	subtree := make([]int, len(nodes))
+	for i := len(nodes) - 1; i >= 0; i-- {
+		if p := nodes[i].Parent; p != bundle.NoParent {
+			subtree[p] += subtree[i] + 1
+		}
+	}
+	acc := make(map[string]*Influence)
+	for i, n := range nodes {
+		user := n.Doc.Msg.User
+		inf, ok := acc[user]
+		if !ok {
+			inf = &Influence{User: user}
+			acc[user] = inf
+		}
+		inf.Posts++
+		inf.Reach += subtree[i]
+		for _, c := range b.Children(i) {
+			if nodes[c].Doc.Msg.User != user {
+				inf.Triggered++
+			}
+		}
+	}
+	out := make([]Influence, 0, len(acc))
+	for _, inf := range acc {
+		out = append(out, *inf)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, c := out[i], out[j]
+		switch {
+		case a.Reach != c.Reach:
+			return a.Reach > c.Reach
+		case a.Triggered != c.Triggered:
+			return a.Triggered > c.Triggered
+		case a.Posts != c.Posts:
+			return a.Posts > c.Posts
+		default:
+			return a.User < c.User
+		}
+	})
+	return out
+}
+
+// Merge combines two bundles into a fresh one (useful when an analyst
+// decides two trails cover one event — the manual curation hook the
+// paper's demo implies). Messages are re-allocated in date order with
+// the given weights, so the merged bundle satisfies the same
+// invariants as engine-built ones. The inputs are not modified.
+func Merge(id bundle.ID, a, c *bundle.Bundle, w score.MessageWeights) *bundle.Bundle {
+	docs := make([]docAt, 0, a.Size()+c.Size())
+	for _, n := range a.Nodes() {
+		docs = append(docs, docAt{n})
+	}
+	for _, n := range c.Nodes() {
+		docs = append(docs, docAt{n})
+	}
+	sort.SliceStable(docs, func(i, j int) bool {
+		di, dj := docs[i].n.Doc.Msg.Date, docs[j].n.Doc.Msg.Date
+		if !di.Equal(dj) {
+			return di.Before(dj)
+		}
+		return docs[i].n.Doc.Msg.ID < docs[j].n.Doc.Msg.ID
+	})
+	out := bundle.New(id)
+	for _, d := range docs {
+		out.Add(w, d.n.Doc)
+	}
+	return out
+}
+
+type docAt struct{ n bundle.Node }
+
+// DepthHistogramString renders DepthCounts as a small ASCII profile.
+func (s CascadeStats) DepthHistogramString() string {
+	if len(s.DepthCounts) == 0 {
+		return "(empty)"
+	}
+	peak := 1
+	for _, c := range s.DepthCounts {
+		if c > peak {
+			peak = c
+		}
+	}
+	var bldr []byte
+	for d, c := range s.DepthCounts {
+		bar := int(math.Round(float64(c) * 30 / float64(peak)))
+		line := fmt.Sprintf("depth %2d %6d %s\n", d, c, repeat('#', bar))
+		bldr = append(bldr, line...)
+	}
+	return string(bldr)
+}
+
+func repeat(ch byte, n int) string {
+	if n < 0 {
+		n = 0
+	}
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = ch
+	}
+	return string(out)
+}

@@ -1,0 +1,300 @@
+package provops
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"provex/internal/bundle"
+	"provex/internal/gen"
+	"provex/internal/score"
+	"provex/internal/tokenizer"
+	"provex/internal/tweet"
+)
+
+var (
+	base    = time.Date(2009, 9, 29, 0, 0, 0, 0, time.UTC)
+	weights = score.DefaultMessageWeights()
+)
+
+func doc(id tweet.ID, user, text string, offset time.Duration) score.Doc {
+	m := tweet.Parse(id, user, base.Add(offset), text)
+	return score.Doc{Msg: m, Keywords: tokenizer.Keywords(text)}
+}
+
+// buildCascade constructs a deterministic bundle:
+//
+//	0 root (alice)
+//	└── 1 RT by bob
+//	    ├── 2 RT by carol
+//	    └── 3 RT by dave
+//	        └── 4 hashtag follow-up by erin (Eq. 5 time closeness
+//	            attaches it to the freshest tag-sharing node)
+//	5 isolated second root (frank)
+func buildCascade(t *testing.T) *bundle.Bundle {
+	t.Helper()
+	b := bundle.New(1)
+	add := func(d score.Doc, wantParent int32) int {
+		idx := b.Add(weights, d)
+		if got := b.Nodes()[idx].Parent; got != wantParent {
+			t.Fatalf("node %d parent = %d, want %d", idx, got, wantParent)
+		}
+		return idx
+	}
+	add(doc(10, "alice", "tsunami warning issued #samoa", 0), bundle.NoParent)
+	add(doc(11, "bob", "RT @alice: tsunami warning issued #samoa", time.Minute), 0)
+	add(doc(12, "carol", "so scary RT @bob: RT @alice: tsunami warning issued #samoa", 2*time.Minute), 1)
+	add(doc(13, "dave", "RT @bob: RT @alice: tsunami warning issued #samoa", 3*time.Minute), 1)
+	add(doc(14, "erin", "thoughts with everyone #samoa", 4*time.Minute), 3)
+	add(doc(15, "frank", "totally unrelated topic entirely", 5*time.Minute), bundle.NoParent)
+	return b
+}
+
+func TestFindMessage(t *testing.T) {
+	b := buildCascade(t)
+	ref, ok := FindMessage(b, 12)
+	if !ok || ref.Index != 2 || ref.Msg().User != "carol" {
+		t.Fatalf("FindMessage(12) = %+v, %v", ref, ok)
+	}
+	if _, ok := FindMessage(b, 999); ok {
+		t.Error("found nonexistent message")
+	}
+}
+
+func TestAncestryAndPath(t *testing.T) {
+	b := buildCascade(t)
+	ref, _ := FindMessage(b, 12) // carol
+	anc := Ancestry(ref)
+	users := refUsers(anc)
+	if !reflect.DeepEqual(users, []string{"bob", "alice"}) {
+		t.Errorf("Ancestry = %v, want [bob alice]", users)
+	}
+	path := PathToRoot(ref)
+	if got := refUsers(path); !reflect.DeepEqual(got, []string{"carol", "bob", "alice"}) {
+		t.Errorf("PathToRoot = %v", got)
+	}
+	if Root(ref).Msg().User != "alice" {
+		t.Errorf("Root = %s", Root(ref).Msg().User)
+	}
+	// A root's ancestry is empty and its Root is itself.
+	rootRef, _ := FindMessage(b, 10)
+	if len(Ancestry(rootRef)) != 0 || Root(rootRef).Index != rootRef.Index {
+		t.Error("root ancestry wrong")
+	}
+}
+
+func refUsers(refs []NodeRef) []string {
+	out := make([]string, len(refs))
+	for i, r := range refs {
+		out[i] = r.Msg().User
+	}
+	return out
+}
+
+func TestDescendants(t *testing.T) {
+	b := buildCascade(t)
+	rootRef, _ := FindMessage(b, 10)
+	desc := refUsers(Descendants(rootRef))
+	want := []string{"bob", "carol", "dave", "erin"}
+	if !reflect.DeepEqual(desc, want) {
+		t.Errorf("Descendants(root) = %v, want %v", desc, want)
+	}
+	bobRef, _ := FindMessage(b, 11)
+	if got := refUsers(Descendants(bobRef)); !reflect.DeepEqual(got, []string{"carol", "dave", "erin"}) {
+		t.Errorf("Descendants(bob) = %v", got)
+	}
+	leafRef, _ := FindMessage(b, 12)
+	if got := Descendants(leafRef); len(got) != 0 {
+		t.Errorf("leaf has descendants: %v", got)
+	}
+}
+
+func TestSources(t *testing.T) {
+	b := buildCascade(t)
+	src := refUsers(Sources(b))
+	if !reflect.DeepEqual(src, []string{"alice", "frank"}) {
+		t.Errorf("Sources = %v", src)
+	}
+}
+
+func TestDepthAndFanout(t *testing.T) {
+	b := buildCascade(t)
+	carol, _ := FindMessage(b, 12)
+	if Depth(carol) != 2 {
+		t.Errorf("Depth(carol) = %d, want 2", Depth(carol))
+	}
+	root, _ := FindMessage(b, 10)
+	if Fanout(root) != 1 {
+		t.Errorf("Fanout(root) = %d, want 1 (bob)", Fanout(root))
+	}
+	bob, _ := FindMessage(b, 11)
+	if Fanout(bob) != 2 {
+		t.Errorf("Fanout(bob) = %d, want 2", Fanout(bob))
+	}
+}
+
+func TestCascadeStats(t *testing.T) {
+	b := buildCascade(t)
+	st := Cascade(b)
+	if st.Size != 6 || st.Trees != 2 || st.MaxDepth != 3 || st.MaxFanout != 2 {
+		t.Errorf("Cascade = %+v", st)
+	}
+	if st.Leaves != 3 { // carol, erin, frank
+		t.Errorf("Leaves = %d, want 3", st.Leaves)
+	}
+	if !reflect.DeepEqual(st.DepthCounts, []int{2, 1, 2, 1}) {
+		t.Errorf("DepthCounts = %v", st.DepthCounts)
+	}
+	// virality: depths of non-roots: 1(bob)+2(carol)+2(dave)+3(erin) = 8 over 4.
+	if st.Virality != 2.0 {
+		t.Errorf("Virality = %v, want 2.0", st.Virality)
+	}
+	if s := st.String(); !strings.Contains(s, "size=6") {
+		t.Errorf("String = %q", s)
+	}
+	if h := st.DepthHistogramString(); !strings.Contains(h, "depth  0") {
+		t.Errorf("histogram = %q", h)
+	}
+}
+
+func TestCascadeEmpty(t *testing.T) {
+	st := Cascade(bundle.New(9))
+	if st.Size != 0 || st.Virality != 0 {
+		t.Errorf("empty cascade = %+v", st)
+	}
+	if st.DepthHistogramString() != "(empty)" {
+		t.Error("empty histogram render wrong")
+	}
+}
+
+func TestInfluenceRanking(t *testing.T) {
+	b := buildCascade(t)
+	rank := InfluenceRanking(b)
+	if rank[0].User != "alice" {
+		t.Fatalf("top influencer = %s, want alice (%+v)", rank[0].User, rank)
+	}
+	if rank[0].Reach != 4 || rank[0].Triggered != 1 || rank[0].Posts != 1 {
+		t.Errorf("alice influence = %+v", rank[0])
+	}
+	if rank[1].User != "bob" || rank[1].Reach != 3 || rank[1].Triggered != 2 {
+		t.Errorf("second = %+v, want bob reach 3 triggered 2", rank[1])
+	}
+	// Leaves have zero reach.
+	for _, inf := range rank {
+		if inf.User == "frank" && (inf.Reach != 0 || inf.Triggered != 0) {
+			t.Errorf("frank influence = %+v", inf)
+		}
+	}
+}
+
+func TestInfluenceSelfRetweetNotTriggered(t *testing.T) {
+	b := bundle.New(2)
+	b.Add(weights, doc(1, "alice", "my thread starts #topic", 0))
+	b.Add(weights, doc(2, "alice", "continuing my thread #topic", time.Minute))
+	rank := InfluenceRanking(b)
+	if len(rank) != 1 {
+		t.Fatalf("rank = %+v", rank)
+	}
+	if rank[0].Triggered != 0 {
+		t.Errorf("self-continuation counted as triggered: %+v", rank[0])
+	}
+	if rank[0].Reach != 1 {
+		t.Errorf("Reach = %d, want 1 (own downstream still counts)", rank[0].Reach)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := bundle.New(1)
+	a.Add(weights, doc(1, "u1", "event begins #shared", 0))
+	a.Add(weights, doc(3, "u2", "more on it #shared", 2*time.Minute))
+	c := bundle.New(2)
+	c.Add(weights, doc(2, "u3", "parallel report #shared", time.Minute))
+
+	m := Merge(7, a, c, weights)
+	if m.ID() != 7 || m.Size() != 3 {
+		t.Fatalf("merged id=%d size=%d", m.ID(), m.Size())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("merged bundle invalid: %v", err)
+	}
+	// Date order preserved.
+	nodes := m.Nodes()
+	for i := 1; i < len(nodes); i++ {
+		if nodes[i].Doc.Msg.Date.Before(nodes[i-1].Doc.Msg.Date) {
+			t.Error("merge broke date order")
+		}
+	}
+	// Inputs untouched.
+	if a.Size() != 2 || c.Size() != 1 {
+		t.Error("Merge modified inputs")
+	}
+	// Shared hashtag connects everything into one tree.
+	if st := Cascade(m); st.Trees != 1 {
+		t.Errorf("merged cascade trees = %d, want 1", st.Trees)
+	}
+}
+
+// Property: over generator-built bundles, structural invariants hold:
+// every message is counted exactly once in DepthCounts, root count
+// equals tree count, and Descendants(root) over all roots partitions
+// the non-root nodes.
+func TestCascadeInvariantsProperty(t *testing.T) {
+	cfg := gen.DefaultConfig()
+	cfg.MsgsPerDay = 20000
+	cfg.Users = 800
+	cfg.VocabSize = 900
+	cfg.EventsPerDay = 500
+	g := gen.New(cfg)
+
+	f := func(sizeRaw uint8) bool {
+		size := int(sizeRaw%30) + 1
+		b := bundle.New(1)
+		for i := 0; i < size; i++ {
+			m := g.Next()
+			b.Add(weights, score.Doc{Msg: m, Keywords: tokenizer.Keywords(m.Text)})
+		}
+		st := Cascade(b)
+		var total int
+		for _, c := range st.DepthCounts {
+			total += c
+		}
+		if total != size || st.Trees != len(b.Roots()) {
+			return false
+		}
+		covered := 0
+		for _, root := range Sources(b) {
+			covered += len(Descendants(root)) + 1
+		}
+		return covered == size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: PathToRoot always terminates at a root and has length
+// Depth+1.
+func TestPathProperty(t *testing.T) {
+	cfg := gen.DefaultConfig()
+	cfg.MsgsPerDay = 20000
+	cfg.EventsPerDay = 400
+	g := gen.New(cfg)
+	b := bundle.New(1)
+	for i := 0; i < 60; i++ {
+		m := g.Next()
+		b.Add(weights, score.Doc{Msg: m, Keywords: tokenizer.Keywords(m.Text)})
+	}
+	for i := range b.Nodes() {
+		ref := NodeRef{Bundle: b, Index: i}
+		path := PathToRoot(ref)
+		if len(path) != Depth(ref)+1 {
+			t.Fatalf("node %d: path length %d != depth+1 %d", i, len(path), Depth(ref)+1)
+		}
+		last := path[len(path)-1]
+		if b.Nodes()[last.Index].Parent != bundle.NoParent {
+			t.Fatalf("node %d: path does not end at a root", i)
+		}
+	}
+}

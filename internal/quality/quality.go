@@ -1,0 +1,235 @@
+// Package quality implements the paper's quality-identification use
+// case (Introduction, "Quality Identification", and the conclusion's
+// "social provenance tools to enable collaborative data quality
+// assessments"): credibility scoring for messages and bundles derived
+// from provenance structure rather than content alone.
+//
+// The signals are exactly the ones the paper argues provenance makes
+// available — "the sources, developments and user feedbacks collected
+// from provenance discovery":
+//
+//   - endorsement: how much downstream propagation a message earned,
+//     with explicit re-shares weighted above topical follow-ups;
+//   - source corroboration: how many independent trails (sources) a
+//     bundle contains;
+//   - author diversity: many distinct voices beat one prolific account;
+//   - substance: indicant-bearing, keyword-rich messages versus short
+//     noise fragments ("ugh #redsox").
+//
+// Scores are in [0,1] and deterministic.
+package quality
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"provex/internal/bundle"
+	"provex/internal/provops"
+	"provex/internal/score"
+	"provex/internal/tweet"
+)
+
+// Weights tune the bundle credibility blend; they must sum to 1 for
+// the score to stay in [0,1] (Normalize enforces it).
+type Weights struct {
+	Endorsement float64 // propagation earned by member messages
+	Sources     float64 // independent-source corroboration
+	Diversity   float64 // distinct-author ratio
+	Substance   float64 // content substance of member messages
+}
+
+// DefaultWeights balance the four signals with a tilt toward
+// endorsement, the paper's "collective intelligence existing in rich
+// feedback".
+func DefaultWeights() Weights {
+	return Weights{Endorsement: 0.4, Sources: 0.2, Diversity: 0.2, Substance: 0.2}
+}
+
+// Normalize scales the weights to sum to 1; zero weights stay zero.
+func (w Weights) Normalize() Weights {
+	sum := w.Endorsement + w.Sources + w.Diversity + w.Substance
+	if sum <= 0 {
+		return DefaultWeights()
+	}
+	return Weights{
+		Endorsement: w.Endorsement / sum,
+		Sources:     w.Sources / sum,
+		Diversity:   w.Diversity / sum,
+		Substance:   w.Substance / sum,
+	}
+}
+
+// MessageSubstance scores one message's content substance in [0,1]:
+// keyword-rich, indicant-bearing messages score high; short interjection
+// noise scores near zero. The shape is a saturating count of distinct
+// evidence items (keywords capped at 5, plus hashtags, URLs, and the RT
+// comment when present).
+func MessageSubstance(d score.Doc) float64 {
+	evidence := float64(min(len(d.Keywords), 5))
+	evidence += 1.5 * float64(min(len(d.Msg.URLs), 2))
+	evidence += 1.0 * float64(min(len(d.Msg.Hashtags), 2))
+	if d.Msg.IsRT() && d.Msg.RTComment != "" {
+		evidence++
+	}
+	// Saturating map to [0,1): 0 evidence -> 0, 5 -> ~0.63, 10 -> ~0.86.
+	return 1 - math.Exp(-evidence/5)
+}
+
+// MessageScore is the credibility assessment of one message inside its
+// bundle.
+type MessageScore struct {
+	ID          tweet.ID
+	User        string
+	Endorsement float64 // normalised downstream propagation
+	Substance   float64
+	Score       float64 // blended
+}
+
+// ScoreMessages assesses every message of the bundle. Endorsement is
+// the message's downstream reach normalised by the largest reach in the
+// bundle, with RT children counting double (an explicit re-share is a
+// stronger endorsement than a topical follow-up, per Table II's
+// ordering).
+func ScoreMessages(b *bundle.Bundle, w Weights) []MessageScore {
+	w = w.Normalize()
+	nodes := b.Nodes()
+	endorse := make([]float64, len(nodes))
+	// Right-to-left accumulation: parents precede children.
+	for i := len(nodes) - 1; i >= 0; i-- {
+		if p := nodes[i].Parent; p != bundle.NoParent {
+			weight := 1.0
+			if nodes[i].Conn == score.ConnRT {
+				weight = 2.0
+			}
+			endorse[p] += weight + endorse[i]
+		}
+	}
+	var maxE float64
+	for _, e := range endorse {
+		if e > maxE {
+			maxE = e
+		}
+	}
+	out := make([]MessageScore, 0, len(nodes))
+	for i, n := range nodes {
+		e := 0.0
+		if maxE > 0 {
+			e = endorse[i] / maxE
+		}
+		sub := MessageSubstance(n.Doc)
+		// Per-message blend: endorsement and substance, re-normalised
+		// from the bundle weights.
+		we, ws := w.Endorsement, w.Substance
+		if we+ws == 0 {
+			we, ws = 0.5, 0.5
+		}
+		blended := (we*e + ws*sub) / (we + ws)
+		out = append(out, MessageScore{
+			ID:          n.Doc.Msg.ID,
+			User:        n.Doc.Msg.User,
+			Endorsement: e,
+			Substance:   sub,
+			Score:       blended,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// BundleScore is the credibility assessment of a whole bundle.
+type BundleScore struct {
+	Bundle      bundle.ID
+	Endorsement float64
+	Sources     float64
+	Diversity   float64
+	Substance   float64
+	Score       float64
+}
+
+// String renders the assessment.
+func (s BundleScore) String() string {
+	return fmt.Sprintf("bundle %d: credibility=%.3f (endorse=%.2f sources=%.2f diversity=%.2f substance=%.2f)",
+		s.Bundle, s.Score, s.Endorsement, s.Sources, s.Diversity, s.Substance)
+}
+
+// ScoreBundle assesses a bundle's overall credibility.
+func ScoreBundle(b *bundle.Bundle, w Weights) BundleScore {
+	w = w.Normalize()
+	out := BundleScore{Bundle: b.ID()}
+	n := b.Size()
+	if n == 0 {
+		return out
+	}
+	nodes := b.Nodes()
+
+	// Endorsement: fraction of messages that earned any downstream
+	// propagation, smoothed by cascade virality.
+	cs := provops.Cascade(b)
+	nonLeaf := float64(n-cs.Leaves) / float64(n)
+	out.Endorsement = clamp01(nonLeaf * (1 + cs.Virality) / 2)
+
+	// Sources: corroboration saturates with independent trail count,
+	// but a bundle that is ONLY isolated singletons (trees == size)
+	// corroborates nothing.
+	if cs.Trees < n {
+		out.Sources = 1 - math.Exp(-float64(cs.Trees)/3)
+	}
+
+	// Diversity: distinct authors over messages.
+	users := make(map[string]bool, n)
+	for _, nd := range nodes {
+		users[nd.Doc.Msg.User] = true
+	}
+	out.Diversity = float64(len(users)) / float64(n)
+
+	// Substance: mean message substance.
+	var sub float64
+	for _, nd := range nodes {
+		sub += MessageSubstance(nd.Doc)
+	}
+	out.Substance = sub / float64(n)
+
+	out.Score = w.Endorsement*out.Endorsement +
+		w.Sources*out.Sources +
+		w.Diversity*out.Diversity +
+		w.Substance*out.Substance
+	return out
+}
+
+// RankBundles scores and orders bundles by credibility, best first.
+func RankBundles(bs []*bundle.Bundle, w Weights) []BundleScore {
+	out := make([]BundleScore, 0, len(bs))
+	for _, b := range bs {
+		out = append(out, ScoreBundle(b, w))
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Bundle < out[j].Bundle
+	})
+	return out
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

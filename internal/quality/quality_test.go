@@ -1,0 +1,175 @@
+package quality
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"provex/internal/bundle"
+	"provex/internal/gen"
+	"provex/internal/score"
+	"provex/internal/tokenizer"
+	"provex/internal/tweet"
+)
+
+var (
+	base    = time.Date(2009, 9, 29, 0, 0, 0, 0, time.UTC)
+	weights = score.DefaultMessageWeights()
+)
+
+func doc(id tweet.ID, user, text string, offset time.Duration) score.Doc {
+	m := tweet.Parse(id, user, base.Add(offset), text)
+	return score.Doc{Msg: m, Keywords: tokenizer.Keywords(text)}
+}
+
+// richBundle: multi-author cascade with re-shares and substance.
+func richBundle() *bundle.Bundle {
+	b := bundle.New(1)
+	b.Add(weights, doc(1, "reuters_alert", "magnitude 8 quake triggers tsunami warning for samoa coast #samoa http://bit.ly/quake", 0))
+	b.Add(weights, doc(2, "bob", "stay safe everyone RT @reuters_alert: magnitude 8 quake triggers tsunami warning for samoa coast #samoa", time.Minute))
+	b.Add(weights, doc(3, "carol", "RT @bob: stay safe everyone RT @reuters_alert: magnitude 8 quake triggers tsunami warning", 2*time.Minute))
+	b.Add(weights, doc(4, "dave", "rescue teams deploying to the samoa coast now #samoa http://ow.ly/rescue", 3*time.Minute))
+	b.Add(weights, doc(5, "erin", "relief donations open for samoa quake victims #samoa", 4*time.Minute))
+	return b
+}
+
+// noiseBundle: one author, isolated fragments.
+func noiseBundle() *bundle.Bundle {
+	b := bundle.New(2)
+	b.Add(weights, doc(10, "spammer", "ugh", 0))
+	b.Add(weights, doc(11, "spammer", "lol whatever", 90*time.Minute))
+	b.Add(weights, doc(12, "spammer", "sigh", 300*time.Minute))
+	return b
+}
+
+func TestMessageSubstance(t *testing.T) {
+	rich := doc(1, "u", "magnitude 8 quake triggers tsunami warning for samoa #samoa http://bit.ly/x", 0)
+	noise := doc(2, "u", "ugh", 0)
+	rs, ns := MessageSubstance(rich), MessageSubstance(noise)
+	if rs <= ns {
+		t.Errorf("substance: rich %v <= noise %v", rs, ns)
+	}
+	if ns != 0 {
+		t.Errorf("pure interjection substance = %v, want 0", ns)
+	}
+	if rs < 0 || rs > 1 {
+		t.Errorf("substance out of range: %v", rs)
+	}
+	// RT with a comment earns the comment credit.
+	rtWith := doc(3, "u", "so scary RT @a: quake warning issued", 0)
+	rtBare := doc(4, "u", "RT @a: quake warning issued", 0)
+	if MessageSubstance(rtWith) <= MessageSubstance(rtBare) {
+		t.Error("commented RT should outscore bare RT")
+	}
+}
+
+func TestScoreMessagesEndorsement(t *testing.T) {
+	b := richBundle()
+	scores := ScoreMessages(b, DefaultWeights())
+	if len(scores) != 5 {
+		t.Fatalf("scores = %d", len(scores))
+	}
+	// The root alert earned the whole cascade: it must rank first.
+	if scores[0].ID != 1 {
+		t.Errorf("top message = %d, want the root alert (%+v)", scores[0].ID, scores[0])
+	}
+	if scores[0].Endorsement != 1 {
+		t.Errorf("root endorsement = %v, want 1 (max-normalised)", scores[0].Endorsement)
+	}
+	for _, s := range scores {
+		if s.Score < 0 || s.Score > 1 {
+			t.Errorf("score out of range: %+v", s)
+		}
+	}
+}
+
+func TestScoreBundleRichVsNoise(t *testing.T) {
+	w := DefaultWeights()
+	rich := ScoreBundle(richBundle(), w)
+	noise := ScoreBundle(noiseBundle(), w)
+	if rich.Score <= noise.Score {
+		t.Errorf("rich bundle %.3f not above noise bundle %.3f", rich.Score, noise.Score)
+	}
+	if rich.Diversity <= noise.Diversity {
+		t.Errorf("diversity: rich %v <= noise %v", rich.Diversity, noise.Diversity)
+	}
+	if noise.Sources != 0 {
+		t.Errorf("all-singleton bundle sources = %v, want 0", noise.Sources)
+	}
+	for _, s := range []BundleScore{rich, noise} {
+		for name, v := range map[string]float64{
+			"endorsement": s.Endorsement, "sources": s.Sources,
+			"diversity": s.Diversity, "substance": s.Substance, "score": s.Score,
+		} {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				t.Errorf("bundle %d %s = %v out of range", s.Bundle, name, v)
+			}
+		}
+	}
+	if out := rich.String(); !strings.Contains(out, "credibility=") {
+		t.Errorf("String = %q", out)
+	}
+}
+
+func TestScoreBundleEmpty(t *testing.T) {
+	s := ScoreBundle(bundle.New(9), DefaultWeights())
+	if s.Score != 0 {
+		t.Errorf("empty bundle score = %v", s.Score)
+	}
+}
+
+func TestRankBundles(t *testing.T) {
+	ranked := RankBundles([]*bundle.Bundle{noiseBundle(), richBundle()}, DefaultWeights())
+	if len(ranked) != 2 || ranked[0].Bundle != 1 {
+		t.Errorf("RankBundles = %+v, want rich bundle first", ranked)
+	}
+}
+
+func TestWeightsNormalize(t *testing.T) {
+	w := Weights{Endorsement: 2, Sources: 2, Diversity: 2, Substance: 2}.Normalize()
+	sum := w.Endorsement + w.Sources + w.Diversity + w.Substance
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("normalised sum = %v", sum)
+	}
+	if d := (Weights{}).Normalize(); d != DefaultWeights() {
+		t.Errorf("zero weights should fall back to defaults, got %+v", d)
+	}
+}
+
+// Property: bundle scores stay in [0,1] over generator-built bundles of
+// any size, and adding endorsement (a deeper cascade) never lowers the
+// endorsement component versus an all-singleton bundle.
+func TestScoreBoundsProperty(t *testing.T) {
+	cfg := gen.DefaultConfig()
+	cfg.MsgsPerDay = 20000
+	cfg.EventsPerDay = 400
+	g := gen.New(cfg)
+	w := DefaultWeights()
+	f := func(sizeRaw uint8) bool {
+		size := int(sizeRaw%25) + 1
+		b := bundle.New(1)
+		for i := 0; i < size; i++ {
+			m := g.Next()
+			b.Add(weights, score.Doc{Msg: m, Keywords: tokenizer.Keywords(m.Text)})
+		}
+		s := ScoreBundle(b, w)
+		vals := []float64{s.Endorsement, s.Sources, s.Diversity, s.Substance, s.Score}
+		for _, v := range vals {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+		}
+		msgs := ScoreMessages(b, w)
+		for _, m := range msgs {
+			if m.Score < 0 || m.Score > 1 {
+				return false
+			}
+		}
+		return len(msgs) == size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,91 @@
+package query
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"provex/internal/core"
+	"provex/internal/storage"
+	"provex/internal/tweet"
+)
+
+// newArchivedProcessor builds a processor over a tiny-pool engine with
+// a disk store, so early bundles are evicted and only reachable through
+// the archive.
+func newArchivedProcessor(t *testing.T) *Processor {
+	t.Helper()
+	st, err := storage.Open(t.TempDir(), storage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+
+	cfg := core.PartialIndexConfig(3)
+	cfg.Pool.RefineAge = time.Minute
+	cfg.Pool.RefineSize = 1 // nothing is tiny: everything evicted flushes
+	cfg.Pool.LowerLimit = 2
+	cfg.Pool.CheckEvery = 1
+	opts := DefaultOptions()
+	opts.IncludeArchive = true
+	return New(core.New(cfg, st, nil), opts)
+}
+
+func TestSearchBundlesIncludesArchived(t *testing.T) {
+	p := newArchivedProcessor(t)
+	base := time.Date(2009, 8, 1, 0, 0, 0, 0, time.UTC)
+
+	// An early topical burst that will be evicted...
+	p.Insert(tweet.Parse(1, "a", base, "tsunami warning for samoa #tsunami"))
+	p.Insert(tweet.Parse(2, "b", base.Add(time.Minute), "tsunami waves reported #tsunami"))
+	// ...followed by hours of unrelated traffic pushing it out.
+	for i := 0; i < 20; i++ {
+		text := "filler" + string(rune('a'+i)) + " story #f" + string(rune('a'+i))
+		p.Insert(tweet.Parse(tweet.ID(i+10), "u", base.Add(time.Duration(i+2)*time.Hour), text))
+	}
+
+	eng := p.Engine()
+	if eng.Err() != nil {
+		t.Fatal(eng.Err())
+	}
+	if p.Archived() == 0 {
+		t.Fatal("nothing archived — test setup wrong")
+	}
+	hits := p.SearchBundles("tsunami samoa", 5)
+	if len(hits) == 0 {
+		t.Fatal("archived bundle not found via search")
+	}
+	top := hits[0]
+	if top.Size != 2 {
+		t.Errorf("top hit size = %d, want the 2-message tsunami bundle", top.Size)
+	}
+	if !strings.Contains(strings.Join(top.Summary, " "), "tsunami") {
+		t.Errorf("summary = %v", top.Summary)
+	}
+	// And the trail is renderable through the engine facade (disk path).
+	trail, err := p.Trail(top.ID)
+	if err != nil {
+		t.Fatalf("Trail: %v", err)
+	}
+	if !strings.Contains(trail, "tsunami") {
+		t.Errorf("trail = %q", trail)
+	}
+}
+
+func TestArchiveDisabledByDefault(t *testing.T) {
+	p := newGameProcessor(t)
+	if p.Archived() != 0 {
+		t.Error("archive active without IncludeArchive")
+	}
+}
+
+func TestIncludeArchiveWithoutStorePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("IncludeArchive without store did not panic")
+		}
+	}()
+	opts := DefaultOptions()
+	opts.IncludeArchive = true
+	New(core.New(core.FullIndexConfig(), nil, nil), opts)
+}

@@ -1,0 +1,320 @@
+// Package query implements the retrieval support of Section V-C: the
+// bundle-granularity search of Equation 7,
+//
+//	r(q,B) = α·s(q,B) + β·i(q,B) + (1−α−β)·t(B)
+//
+// combining textual similarity, summary-index indicant closeness and
+// bundle freshness — next to the conventional per-message keyword
+// search (the paper's Figure 1 baseline) built on the embedded
+// full-text index.
+//
+// A Processor wraps an engine: route ingest through Processor.Insert so
+// the message index stays in sync, then call SearchMessages (Figure 1
+// behaviour) or SearchBundles (Figure 2 behaviour).
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"provex/internal/archive"
+	"provex/internal/bundle"
+	"provex/internal/core"
+	"provex/internal/sumindex"
+	"provex/internal/textindex"
+	"provex/internal/tokenizer"
+	"provex/internal/trending"
+	"provex/internal/tweet"
+)
+
+// Options tune Eq. 7. Alpha weights textual similarity, Beta indicant
+// closeness; freshness receives 1−Alpha−Beta.
+type Options struct {
+	Alpha float64
+	Beta  float64
+	// KeepMessages disables per-message indexing when false — engines
+	// ingesting millions of messages for pure bundle experiments can
+	// skip the baseline index.
+	KeepMessages bool
+	// IncludeArchive extends SearchBundles over the disk back-end:
+	// bundles evicted from the pool remain retrievable through the
+	// archive index. Requires the engine to have a store.
+	IncludeArchive bool
+}
+
+// DefaultOptions weight text 0.6, indicants 0.3, freshness 0.1.
+func DefaultOptions() Options {
+	return Options{Alpha: 0.6, Beta: 0.3, KeepMessages: true}
+}
+
+// MessageHit is one result of the conventional message search.
+type MessageHit struct {
+	Msg   *tweet.Message
+	Score float64
+}
+
+// BundleHit is one result of the provenance bundle search — the row
+// shape of the paper's Figure 2(a): bundle ID, summary words, size,
+// last post time.
+type BundleHit struct {
+	ID       bundle.ID
+	Score    float64
+	Size     int
+	LastPost time.Time
+	Summary  []string
+}
+
+// String renders the hit like a Figure 2 result row.
+func (h BundleHit) String() string {
+	return fmt.Sprintf("bundle %d  score=%.3f  size=%d  last=%s  %s",
+		h.ID, h.Score, h.Size, h.LastPost.Format("2006-01-02 15:04:05"),
+		strings.Join(h.Summary, ", "))
+}
+
+// Processor serves queries over an engine's live pool and message
+// history. Not safe for concurrent use with ingest.
+type Processor struct {
+	opts Options
+	eng  *core.Engine
+
+	msgIndex *textindex.Index
+	messages map[textindex.DocID]*tweet.Message
+
+	arch *archive.Index
+}
+
+// New wraps eng. With Options.IncludeArchive it opens an archive index
+// over the engine's store (panicking if the engine has none — that is
+// a configuration error) and subscribes to flush events.
+func New(eng *core.Engine, opts Options) *Processor {
+	p := &Processor{opts: opts, eng: eng}
+	if opts.KeepMessages {
+		p.msgIndex = textindex.New()
+		p.messages = make(map[textindex.DocID]*tweet.Message)
+	}
+	if opts.IncludeArchive {
+		st := eng.Store()
+		if st == nil {
+			panic("query: IncludeArchive requires an engine with a store")
+		}
+		arch, err := archive.Open(st)
+		if err != nil {
+			panic("query: open archive: " + err.Error())
+		}
+		p.arch = arch
+		eng.SetFlushObserver(arch.Note)
+	}
+	return p
+}
+
+// Archived reports how many disk-resident bundles are searchable.
+func (p *Processor) Archived() int {
+	if p.arch == nil {
+		return 0
+	}
+	return p.arch.Len()
+}
+
+// Insert routes a message through the engine and mirrors it into the
+// baseline message index.
+func (p *Processor) Insert(m *tweet.Message) core.InsertResult {
+	res := p.eng.Insert(m)
+	if p.msgIndex != nil {
+		terms := append(tokenizer.Keywords(m.Text), m.Hashtags...)
+		p.msgIndex.Add(textindex.DocID(m.ID), terms)
+		p.messages[textindex.DocID(m.ID)] = m
+	}
+	return res
+}
+
+// Engine exposes the wrapped engine.
+func (p *Processor) Engine() *core.Engine { return p.eng }
+
+// Bundle resolves a bundle in the pool or the disk back-end.
+func (p *Processor) Bundle(id bundle.ID) (*bundle.Bundle, error) { return p.eng.Bundle(id) }
+
+// Snapshot returns engine statistics.
+func (p *Processor) Snapshot() core.Stats { return p.eng.Snapshot() }
+
+// Trending returns the k hottest live bundles at the engine's current
+// simulated time.
+func (p *Processor) Trending(k int) []trending.Topic {
+	return trending.Detect(p.eng.Pool(), p.eng.Now(), k, trending.Options{})
+}
+
+// queryTerms normalises a free-text query into search terms: keywords
+// plus any explicit hashtags (with and without '#').
+func queryTerms(q string) []string {
+	kws := tokenizer.Keywords(q)
+	// Raw tokens too, so exact tag words below the keyword length
+	// threshold still match.
+	for _, tok := range tokenizer.Tokenize(q) {
+		dup := false
+		for _, k := range kws {
+			if k == tok {
+				dup = true
+				break
+			}
+		}
+		if !dup && len(tok) >= 2 {
+			kws = append(kws, tok)
+		}
+	}
+	return kws
+}
+
+// SearchMessages is the conventional keyword search of Figure 1:
+// BM25-ranked individual messages.
+func (p *Processor) SearchMessages(q string, k int) []MessageHit {
+	if p.msgIndex == nil {
+		return nil
+	}
+	hits := p.msgIndex.Search(queryTerms(q), k)
+	out := make([]MessageHit, 0, len(hits))
+	for _, h := range hits {
+		if m, ok := p.messages[h.Doc]; ok {
+			out = append(out, MessageHit{Msg: m, Score: h.Score})
+		}
+	}
+	return out
+}
+
+// SearchBundles is Eq. 7: rank live bundles against the query and
+// return the top k with their Figure 2 summary rows.
+func (p *Processor) SearchBundles(q string, k int) []BundleHit {
+	if k <= 0 {
+		return nil
+	}
+	terms := queryTerms(q)
+	if len(terms) == 0 {
+		return nil
+	}
+	idx := p.eng.SummaryIndex()
+	now := p.eng.Now()
+
+	// Candidate bundles: union of the query terms' postings over the
+	// keyword, hashtag and URL classes.
+	cands := make(map[bundle.ID]struct{})
+	for _, t := range terms {
+		for _, cls := range []sumindex.Class{sumindex.ClassKeyword, sumindex.ClassTag, sumindex.ClassURL} {
+			for id := range idx.Postings(cls, t) {
+				cands[bundle.ID(id)] = struct{}{}
+			}
+		}
+	}
+	hits := make([]BundleHit, 0, len(cands))
+	for id := range cands {
+		b := p.eng.Pool().Get(id)
+		if b == nil {
+			continue
+		}
+		r := p.relevance(terms, b, now)
+		if r <= 0 {
+			continue
+		}
+		hits = append(hits, BundleHit{
+			ID:       id,
+			Score:    r,
+			Size:     b.Size(),
+			LastPost: b.EndTime(),
+			Summary:  b.SummaryWords(10),
+		})
+	}
+	hits = append(hits, p.archivedHits(terms, k, now)...)
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].ID < hits[j].ID
+	})
+	if len(hits) > k {
+		hits = hits[:k]
+	}
+	return hits
+}
+
+// archivedHits extends a bundle search over the disk back-end: the
+// archive index surfaces up to k candidates by summary-term BM25, the
+// candidates are loaded from the store, and each is scored with the
+// same Eq. 7 relevance as live bundles so merged ranking is coherent.
+func (p *Processor) archivedHits(terms []string, k int, now time.Time) []BundleHit {
+	if p.arch == nil {
+		return nil
+	}
+	var out []BundleHit
+	for _, ah := range p.arch.Search(terms, k) {
+		b, err := p.arch.Load(ah.ID)
+		if err != nil {
+			continue // a corrupt archived record should not fail a query
+		}
+		r := p.relevance(terms, b, now)
+		if r <= 0 {
+			continue
+		}
+		out = append(out, BundleHit{
+			ID:       ah.ID,
+			Score:    r,
+			Size:     b.Size(),
+			LastPost: b.EndTime(),
+			Summary:  b.SummaryWords(10),
+		})
+	}
+	return out
+}
+
+// relevance is Eq. 7 for one bundle.
+func (p *Processor) relevance(terms []string, b *bundle.Bundle, now time.Time) float64 {
+	s := textualSim(terms, b)
+	i := indicantSim(terms, b)
+	t := freshness(now, b.EndTime())
+	return p.opts.Alpha*s + p.opts.Beta*i + (1-p.opts.Alpha-p.opts.Beta)*t
+}
+
+// textualSim s(q,B): mean normalised term frequency of the query terms
+// over the bundle's keyword summary — the common textual similarity of
+// the paper, computed from the summary rather than re-reading member
+// messages.
+func textualSim(terms []string, b *bundle.Bundle) float64 {
+	if b.Size() == 0 {
+		return 0
+	}
+	var sum float64
+	for _, t := range terms {
+		tf := float64(b.KeywordCount(t))
+		sum += tf / float64(b.Size())
+	}
+	return sum / float64(len(terms))
+}
+
+// indicantSim i(q,B): the fraction of query terms that appear as hard
+// indicants (hashtags or URLs) of the bundle.
+func indicantSim(terms []string, b *bundle.Bundle) float64 {
+	n := 0
+	for _, t := range terms {
+		if b.TagCount(t) > 0 || b.URLCount(t) > 0 {
+			n++
+		}
+	}
+	return float64(n) / float64(len(terms))
+}
+
+// freshness t(B): inverse hours since the bundle's last post.
+func freshness(now, last time.Time) float64 {
+	age := now.Sub(last).Hours()
+	if age < 0 {
+		age = 0
+	}
+	return 1 / (age + 1)
+}
+
+// Trail loads a bundle wherever it lives (pool or disk) and renders its
+// provenance forest — the Figure 2(b)/Figure 10 visualisation.
+func (p *Processor) Trail(id bundle.ID) (string, error) {
+	b, err := p.eng.Bundle(id)
+	if err != nil {
+		return "", err
+	}
+	return b.Render(), nil
+}

@@ -1,0 +1,254 @@
+// Package score implements every similarity and ranking function of the
+// paper: the Table II connection types between messages, the
+// message-to-message similarity of Equations 2–5 (used by Algorithm 2,
+// message allocation inside a bundle), the message-to-bundle relevance
+// of Equation 1 (used by Algorithm 1, bundle match), and the eviction
+// rank of Equation 6.
+//
+// All functions are pure and deterministic so the Full Index ground
+// truth and the Partial Index approximations differ only through what
+// state each retains, never through scoring noise.
+package score
+
+import (
+	"time"
+
+	"provex/internal/tweet"
+)
+
+// ConnectionType classifies the provenance edge between two messages —
+// Table II of the paper.
+type ConnectionType uint8
+
+// Connection types in priority order: when several hold, the edge is
+// labelled with the strongest.
+const (
+	ConnNone    ConnectionType = iota
+	ConnText                   // shared keywords
+	ConnHashtag                // shared hashtag
+	ConnURL                    // shared short-link
+	ConnRT                     // explicit re-share
+)
+
+// String names the connection type.
+func (c ConnectionType) String() string {
+	switch c {
+	case ConnRT:
+		return "rt"
+	case ConnURL:
+		return "url"
+	case ConnHashtag:
+		return "hashtag"
+	case ConnText:
+		return "text"
+	default:
+		return "none"
+	}
+}
+
+// Doc couples a message with its extracted keyword set. Keyword
+// extraction costs a tokenizer pass, so it happens once at ingest and
+// rides along with the message through matching, allocation and
+// summary maintenance.
+type Doc struct {
+	Msg      *tweet.Message
+	Keywords []string
+}
+
+// overlap counts common elements of two small string slices. The slices
+// on micro-blog messages hold a handful of entries, so the quadratic
+// scan beats building maps.
+func overlap(a, b []string) int {
+	n := 0
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// Overlap is the exported helper used by bundle summaries and tests.
+func Overlap(a, b []string) int { return overlap(a, b) }
+
+// Classify labels the strongest Table II connection from earlier
+// message a to later message b, ConnNone when unrelated.
+func Classify(a, b Doc) ConnectionType {
+	switch {
+	case b.Msg.IsRT() && b.Msg.RTOf == a.Msg.User:
+		return ConnRT
+	case overlap(a.Msg.URLs, b.Msg.URLs) > 0:
+		return ConnURL
+	case overlap(a.Msg.Hashtags, b.Msg.Hashtags) > 0:
+		return ConnHashtag
+	case overlap(a.Keywords, b.Keywords) > 0:
+		return ConnText
+	default:
+		return ConnNone
+	}
+}
+
+// MessageWeights are the α, β, γ of Equation 5 plus the keyword and RT
+// extensions the equation's trailing "…" leaves open.
+type MessageWeights struct {
+	URL     float64 // α: weight of U(ti,tj), Eq. 2
+	Tag     float64 // β: weight of H(ti,tj), Eq. 3
+	Time    float64 // γ: weight of T(ti,tj), Eq. 4
+	Keyword float64 // weight of shared-keyword ratio
+	RT      float64 // additive bonus for an explicit re-share edge
+}
+
+// DefaultMessageWeights favour explicit signals (RT, URL) over tags over
+// plain text, with freshness as a tiebreaker — the ordering the paper's
+// Table II discussion implies.
+func DefaultMessageWeights() MessageWeights {
+	return MessageWeights{URL: 1.0, Tag: 0.8, Time: 0.4, Keyword: 0.5, RT: 2.0}
+}
+
+// U is Equation 2: the fraction of the later message's URLs shared with
+// the earlier one. Zero when the later message has no URLs.
+func U(earlier, later *tweet.Message) float64 {
+	if len(later.URLs) == 0 {
+		return 0
+	}
+	return float64(overlap(later.URLs, earlier.URLs)) / float64(len(later.URLs))
+}
+
+// H is Equation 3, the hashtag analogue of U.
+func H(earlier, later *tweet.Message) float64 {
+	if len(later.Hashtags) == 0 {
+		return 0
+	}
+	return float64(overlap(later.Hashtags, earlier.Hashtags)) / float64(len(later.Hashtags))
+}
+
+// T is Equation 4: inverse time gap, measured in hours so that the
+// scale is meaningful against the unit-interval overlap ratios (the
+// paper leaves the unit open; hours make one-hour-apart messages score
+// 0.5 and day-apart messages 0.04).
+func T(a, b *tweet.Message) float64 {
+	gap := a.Date.Sub(b.Date)
+	if gap < 0 {
+		gap = -gap
+	}
+	return 1 / (gap.Hours() + 1)
+}
+
+// keywordSim is the keyword analogue of U/H over extracted keyword sets.
+func keywordSim(earlier, later Doc) float64 {
+	if len(later.Keywords) == 0 {
+		return 0
+	}
+	return float64(overlap(later.Keywords, earlier.Keywords)) / float64(len(later.Keywords))
+}
+
+// MessageSim is Equation 5: the weighted similarity of a later message
+// to an earlier one, used to pick the parent node inside a bundle.
+func MessageSim(w MessageWeights, earlier, later Doc) float64 {
+	s := w.URL*U(earlier.Msg, later.Msg) +
+		w.Tag*H(earlier.Msg, later.Msg) +
+		w.Time*T(earlier.Msg, later.Msg) +
+		w.Keyword*keywordSim(earlier, later)
+	if later.Msg.IsRT() && later.Msg.RTOf == earlier.Msg.User {
+		s += w.RT
+	}
+	return s
+}
+
+// BundleWeights parameterise Equation 1 — message-to-bundle relevance.
+type BundleWeights struct {
+	URL     float64 // α: per shared URL
+	Tag     float64 // β: per shared hashtag
+	Keyword float64 // per shared keyword
+	RT      float64 // bonus when the bundle contains the re-shared user
+	Time    float64 // γ: freshness factor weight
+
+	// Threshold is the minimum Eq. 1 score at which a message joins an
+	// existing bundle; below it a fresh bundle is created. It realises
+	// Algorithm 1's "if bundle is null" branch for indicant-free or
+	// unrelated messages.
+	Threshold float64
+}
+
+// DefaultBundleWeights mirror DefaultMessageWeights at bundle
+// granularity. The threshold requires at least one hard indicant match
+// (URL, tag, RT): the keyword term is a ratio bounded by w.Keyword and
+// the freshness term by w.Time, so keyword overlap plus freshness
+// (0.22+0.30) can never reach the 0.55 threshold on their own. That
+// bound is what stops a large bundle — which contains nearly every
+// common keyword — from snowballing the whole stream into itself.
+func DefaultBundleWeights() BundleWeights {
+	return BundleWeights{URL: 1.0, Tag: 0.9, Keyword: 0.22, RT: 1.5, Time: 0.3, Threshold: 0.55}
+}
+
+// BundleStats is the view of a bundle the Eq. 1 scorer needs. It is a
+// narrow interface so score does not depend on the bundle package.
+type BundleStats interface {
+	// TagCount / URLCount / KeywordCount return how many messages of
+	// the bundle carry the given indicant.
+	TagCount(tag string) int
+	URLCount(url string) int
+	KeywordCount(kw string) int
+	// HasUser reports whether the user posted inside the bundle.
+	HasUser(user string) bool
+	// LastDate is the newest message date in the bundle.
+	LastDate() time.Time
+}
+
+// BundleSim is Equation 1: S(t,B). The hard-indicant terms count
+// distinct indicants of t present in B (the |url(t) ∩ url(B)| and
+// |tag(t) ∩ tag(B)| of the paper). The keyword extension (the
+// equation's trailing "…") is the *fraction* of t's keywords present in
+// B, bounded by w.Keyword — an unbounded per-keyword count would let a
+// large bundle, which accumulates every common word, attract every
+// subsequent message and snowball. The freshness term is
+// γ·1/(1+Δt_hours) per the documented reading of the paper's time
+// factor (see DESIGN.md).
+func BundleSim(w BundleWeights, t Doc, b BundleStats) float64 {
+	var s float64
+	for _, u := range t.Msg.URLs {
+		if b.URLCount(u) > 0 {
+			s += w.URL
+		}
+	}
+	for _, h := range t.Msg.Hashtags {
+		if b.TagCount(h) > 0 {
+			s += w.Tag
+		}
+	}
+	if len(t.Keywords) > 0 {
+		shared := 0
+		for _, k := range t.Keywords {
+			if b.KeywordCount(k) > 0 {
+				shared++
+			}
+		}
+		s += w.Keyword * float64(shared) / float64(len(t.Keywords))
+	}
+	if t.Msg.IsRT() && b.HasUser(t.Msg.RTOf) {
+		s += w.RT
+	}
+	if s > 0 && w.Time > 0 {
+		gap := t.Msg.Date.Sub(b.LastDate())
+		if gap < 0 {
+			gap = -gap
+		}
+		s += w.Time / (gap.Hours() + 1)
+	}
+	return s
+}
+
+// EvictionRank is Equation 6: G(B) = curr − date(B) + 1/|B|, where the
+// age term is measured in hours (the unit again left open by the paper;
+// hours keep the 1/|B| size term relevant for bundles hours-old rather
+// than vanishing instantly). Higher ranks evict first.
+func EvictionRank(curr, lastUpdate time.Time, size int) float64 {
+	ageHours := curr.Sub(lastUpdate).Hours()
+	if size < 1 {
+		size = 1
+	}
+	return ageHours + 1/float64(size)
+}

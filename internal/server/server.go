@@ -1,0 +1,281 @@
+// Package server exposes the query module over HTTP — the analogue of
+// the paper's demo site (t.pku.edu.cn/tweet): conventional message
+// search, provenance bundle search, bundle trail visualisation and
+// engine statistics, all as JSON plus a minimal HTML landing page.
+//
+// Endpoints:
+//
+//	GET /               — landing page with usage
+//	GET /search?q=&k=   — Figure 1: ranked individual messages
+//	GET /prov?q=&k=     — Figure 2(a): ranked provenance bundles
+//	GET /bundle?id=     — Figure 2(b)/10: one bundle's trail as JSON
+//	GET /stats          — engine snapshot
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"provex/internal/bundle"
+	"provex/internal/core"
+	"provex/internal/query"
+	"provex/internal/storage"
+	"provex/internal/trending"
+)
+
+// Backend is what the HTTP layer needs from the indexing side. Both
+// *query.Processor (single-threaded, build-then-serve) and
+// *pipeline.Service (concurrent live ingest) satisfy it.
+type Backend interface {
+	SearchMessages(q string, k int) []query.MessageHit
+	SearchBundles(q string, k int) []query.BundleHit
+	Bundle(id bundle.ID) (*bundle.Bundle, error)
+	Snapshot() core.Stats
+	Trending(k int) []trending.Topic
+}
+
+// Server wires HTTP handlers around a Backend.
+type Server struct {
+	backend Backend
+	mux     *http.ServeMux
+}
+
+// New builds a Server.
+func New(backend Backend) *Server {
+	s := &Server{backend: backend, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/", s.handleIndex)
+	s.mux.HandleFunc("/search", s.handleSearch)
+	s.mux.HandleFunc("/prov", s.handleProv)
+	s.mux.HandleFunc("/bundle", s.handleBundle)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/trending", s.handleTrending)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, `<!doctype html><title>provex</title>
+<h1>provex — provenance-based micro-blog indexing</h1>
+<ul>
+<li><code>/search?q=yankee+redsox</code> — message search (Fig. 1)</li>
+<li><code>/prov?q=yankee+redsox</code> — provenance bundle search (Fig. 2)</li>
+<li><code>/bundle?id=N</code> — bundle provenance trail</li>
+<li><code>/trending?k=10</code> — hot bundles right now</li>
+<li><code>/stats</code> — engine statistics</li>
+</ul>`)
+}
+
+// messageJSON is the wire form of one message hit.
+type messageJSON struct {
+	ID    uint64  `json:"id"`
+	User  string  `json:"user"`
+	Date  string  `json:"date"`
+	Text  string  `json:"text"`
+	Score float64 `json:"score"`
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q, k, ok := s.queryParams(w, r)
+	if !ok {
+		return
+	}
+	hits := s.backend.SearchMessages(q, k)
+	out := make([]messageJSON, 0, len(hits))
+	for _, h := range hits {
+		out = append(out, messageJSON{
+			ID:    uint64(h.Msg.ID),
+			User:  h.Msg.User,
+			Date:  h.Msg.Date.Format(time.RFC3339),
+			Text:  h.Msg.Text,
+			Score: h.Score,
+		})
+	}
+	writeJSON(w, map[string]interface{}{"query": q, "hits": out})
+}
+
+// bundleHitJSON is the wire form of one Figure 2(a) result row.
+type bundleHitJSON struct {
+	ID       uint64   `json:"id"`
+	Score    float64  `json:"score"`
+	Size     int      `json:"size"`
+	LastPost string   `json:"last_post"`
+	Summary  []string `json:"summary"`
+}
+
+func (s *Server) handleProv(w http.ResponseWriter, r *http.Request) {
+	q, k, ok := s.queryParams(w, r)
+	if !ok {
+		return
+	}
+	hits := s.backend.SearchBundles(q, k)
+	out := make([]bundleHitJSON, 0, len(hits))
+	for _, h := range hits {
+		out = append(out, bundleHitJSON{
+			ID:       uint64(h.ID),
+			Score:    h.Score,
+			Size:     h.Size,
+			LastPost: h.LastPost.Format(time.RFC3339),
+			Summary:  h.Summary,
+		})
+	}
+	writeJSON(w, map[string]interface{}{"query": q, "bundles": out})
+}
+
+// nodeJSON is one provenance trail node.
+type nodeJSON struct {
+	Index  int     `json:"index"`
+	Parent int     `json:"parent"` // -1 for roots
+	User   string  `json:"user"`
+	Date   string  `json:"date"`
+	Text   string  `json:"text"`
+	Conn   string  `json:"conn,omitempty"`
+	Score  float64 `json:"score,omitempty"`
+}
+
+func (s *Server) handleBundle(w http.ResponseWriter, r *http.Request) {
+	idRaw := r.URL.Query().Get("id")
+	id, err := strconv.ParseUint(idRaw, 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "invalid id %q", idRaw)
+		return
+	}
+	b, err := s.backend.Bundle(bundle.ID(id))
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, storage.ErrNotFound) {
+			status = http.StatusNotFound
+		}
+		httpError(w, status, "%v", err)
+		return
+	}
+	nodes := make([]nodeJSON, 0, b.Size())
+	for i, n := range b.Nodes() {
+		nj := nodeJSON{
+			Index:  i,
+			Parent: int(n.Parent),
+			User:   n.Doc.Msg.User,
+			Date:   n.Doc.Msg.Date.Format(time.RFC3339),
+			Text:   n.Doc.Msg.Text,
+		}
+		if n.Parent != bundle.NoParent {
+			nj.Conn = n.Conn.String()
+			nj.Score = n.Score
+		}
+		nodes = append(nodes, nj)
+	}
+	writeJSON(w, map[string]interface{}{
+		"id":      b.ID(),
+		"size":    b.Size(),
+		"closed":  b.Closed(),
+		"start":   b.StartTime().Format(time.RFC3339),
+		"end":     b.EndTime().Format(time.RFC3339),
+		"summary": b.SummaryWords(10),
+		"nodes":   nodes,
+	})
+}
+
+// trendingJSON is the wire form of one hot-bundle row.
+type trendingJSON struct {
+	ID       uint64   `json:"id"`
+	Score    float64  `json:"score"`
+	Recent   int      `json:"recent"`
+	Size     int      `json:"size"`
+	LastPost string   `json:"last_post"`
+	Summary  []string `json:"summary"`
+}
+
+func (s *Server) handleTrending(w http.ResponseWriter, r *http.Request) {
+	k := 10
+	if kRaw := r.URL.Query().Get("k"); kRaw != "" {
+		v, err := strconv.Atoi(kRaw)
+		if err != nil || v < 1 {
+			httpError(w, http.StatusBadRequest, "invalid k %q", kRaw)
+			return
+		}
+		k = v
+	}
+	if k > 100 {
+		k = 100
+	}
+	topics := s.backend.Trending(k)
+	out := make([]trendingJSON, 0, len(topics))
+	for _, t := range topics {
+		out = append(out, trendingJSON{
+			ID:       uint64(t.ID),
+			Score:    t.Score,
+			Recent:   t.Recent,
+			Size:     t.Size,
+			LastPost: t.LastPost.Format(time.RFC3339),
+			Summary:  t.Summary,
+		})
+	}
+	writeJSON(w, map[string]interface{}{"trending": out})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.backend.Snapshot()
+	writeJSON(w, map[string]interface{}{
+		"messages":           st.Messages,
+		"bundles_created":    st.BundlesCreated,
+		"bundles_live":       st.BundlesLive,
+		"edges":              st.EdgesCreated,
+		"conn_counts":        st.ConnCounts,
+		"mem_bundles_bytes":  st.MemBundles,
+		"mem_index_bytes":    st.MemIndex,
+		"messages_in_memory": st.MessagesInMemory,
+		"match_ms":           st.MatchTime.Milliseconds(),
+		"place_ms":           st.PlaceTime.Milliseconds(),
+		"refine_ms":          st.RefineTime.Milliseconds(),
+	})
+}
+
+// queryParams extracts q and k (default 10, max 100) or writes a 400.
+func (s *Server) queryParams(w http.ResponseWriter, r *http.Request) (string, int, bool) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		httpError(w, http.StatusBadRequest, "missing q parameter")
+		return "", 0, false
+	}
+	k := 10
+	if kRaw := r.URL.Query().Get("k"); kRaw != "" {
+		v, err := strconv.Atoi(kRaw)
+		if err != nil || v < 1 {
+			httpError(w, http.StatusBadRequest, "invalid k %q", kRaw)
+			return "", 0, false
+		}
+		k = v
+	}
+	if k > 100 {
+		k = 100
+	}
+	return q, k, true
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		// Headers already sent; nothing recoverable.
+		_ = err
+	}
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,185 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"provex/internal/core"
+	"provex/internal/query"
+	"provex/internal/tweet"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *query.Processor) {
+	t.Helper()
+	proc := query.New(core.New(core.FullIndexConfig(), nil, nil), query.DefaultOptions())
+	base := time.Date(2009, 9, 17, 2, 0, 0, 0, time.UTC)
+	msgs := []struct {
+		user, text string
+	}{
+		{"wharman", "Lester down #redsox"},
+		{"amaliebenjamin", "Lester getting an ovation from the #yankee crowd #redsox"},
+		{"abcdude", "Classy RT @amaliebenjamin: Lester getting an ovation from the #yankee crowd #redsox"},
+	}
+	for i, m := range msgs {
+		proc.Insert(tweet.Parse(tweet.ID(i+1), m.user, base.Add(time.Duration(i)*time.Minute), m.text))
+	}
+	srv := httptest.NewServer(New(proc))
+	t.Cleanup(srv.Close)
+	return srv, proc
+}
+
+func getJSON(t *testing.T, url string, wantStatus int) map[string]interface{} {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s = %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	var out map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode %s: %v", url, err)
+	}
+	return out
+}
+
+func TestIndexPage(t *testing.T) {
+	srv, _ := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(resp.Header.Get("Content-Type"), "text/html") {
+		t.Errorf("index: status=%d type=%s", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	if _, err := http.Get(srv.URL + "/nope"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSearchEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t)
+	out := getJSON(t, srv.URL+"/search?q=lester+redsox", 200)
+	hits := out["hits"].([]interface{})
+	if len(hits) == 0 {
+		t.Fatal("no hits")
+	}
+	first := hits[0].(map[string]interface{})
+	if !strings.Contains(strings.ToLower(first["text"].(string)), "lester") {
+		t.Errorf("top hit: %v", first)
+	}
+}
+
+func TestProvEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t)
+	out := getJSON(t, srv.URL+"/prov?q=yankee+redsox&k=5", 200)
+	bundles := out["bundles"].([]interface{})
+	if len(bundles) == 0 {
+		t.Fatal("no bundles")
+	}
+	top := bundles[0].(map[string]interface{})
+	if top["size"].(float64) != 3 {
+		t.Errorf("top bundle size = %v, want 3", top["size"])
+	}
+	if len(top["summary"].([]interface{})) == 0 {
+		t.Error("empty summary")
+	}
+}
+
+func TestBundleEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t)
+	prov := getJSON(t, srv.URL+"/prov?q=redsox", 200)
+	id := prov["bundles"].([]interface{})[0].(map[string]interface{})["id"].(float64)
+
+	out := getJSON(t, srv.URL+"/bundle?id="+jsonNum(id), 200)
+	nodes := out["nodes"].([]interface{})
+	if len(nodes) != 3 {
+		t.Fatalf("nodes = %d, want 3", len(nodes))
+	}
+	// The RT node carries conn metadata.
+	foundRT := false
+	for _, n := range nodes {
+		nm := n.(map[string]interface{})
+		if nm["conn"] == "rt" {
+			foundRT = true
+			if nm["parent"].(float64) < 0 {
+				t.Error("rt node has no parent")
+			}
+		}
+	}
+	if !foundRT {
+		t.Error("no rt edge in bundle JSON")
+	}
+}
+
+func jsonNum(f float64) string {
+	return strconv.FormatFloat(f, 'f', -1, 64)
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t)
+	out := getJSON(t, srv.URL+"/stats", 200)
+	if out["messages"].(float64) != 3 {
+		t.Errorf("messages = %v", out["messages"])
+	}
+	if out["edges"].(float64) < 1 {
+		t.Errorf("edges = %v", out["edges"])
+	}
+}
+
+func TestErrorResponses(t *testing.T) {
+	srv, _ := newTestServer(t)
+	cases := []struct {
+		path   string
+		status int
+	}{
+		{"/search", 400},
+		{"/prov", 400},
+		{"/search?q=x&k=bogus", 400},
+		{"/search?q=x&k=-1", 400},
+		{"/bundle?id=abc", 400},
+		{"/bundle?id=99999", 404},
+	}
+	for _, tc := range cases {
+		out := getJSON(t, srv.URL+tc.path, tc.status)
+		if out["error"] == "" {
+			t.Errorf("%s: missing error body", tc.path)
+		}
+	}
+}
+
+func TestKClamped(t *testing.T) {
+	srv, _ := newTestServer(t)
+	out := getJSON(t, srv.URL+"/search?q=redsox&k=5000", 200)
+	if hits := out["hits"].([]interface{}); len(hits) > 100 {
+		t.Errorf("k clamp failed: %d hits", len(hits))
+	}
+}
+
+func TestTrendingEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t)
+	out := getJSON(t, srv.URL+"/trending?k=5", 200)
+	topics := out["trending"].([]interface{})
+	if len(topics) == 0 {
+		t.Fatal("no trending topics (3 fresh messages should trend)")
+	}
+	top := topics[0].(map[string]interface{})
+	if top["recent"].(float64) < 3 {
+		t.Errorf("recent = %v", top["recent"])
+	}
+	if _, err := http.Get(srv.URL + "/trending?k=bogus"); err != nil {
+		t.Fatal(err)
+	}
+	outBad := getJSON(t, srv.URL+"/trending?k=bogus", 400)
+	if outBad["error"] == "" {
+		t.Error("missing error body")
+	}
+}

@@ -1,0 +1,464 @@
+// Package storage is the on-disk bundle back-end of the paper's
+// framework (Figure 4): finished bundles that no longer receive updates
+// are flushed out of the in-memory pool and kept durably for later
+// retrieval and analysis.
+//
+// Layout: a store directory holds append-only segment files
+// (seg-000001.bls, seg-000002.bls, ...). Each segment starts with an
+// 8-byte magic and carries length-prefixed, CRC32C-guarded records,
+// one encoded bundle per record. An in-memory directory maps bundle ID
+// to its newest record position; re-flushing a bundle supersedes the
+// previous record (last write wins), and superseded records are dead
+// weight until Compact rewrites live records into fresh segments.
+//
+// Recovery: Open scans every segment. A corrupt or torn record in the
+// final segment truncates the tail (the torn-write case of a crash
+// mid-append); corruption anywhere else is reported as an error, since
+// sealed segments are never legitimately half-written.
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"provex/internal/bundle"
+)
+
+var segMagic = [8]byte{'P', 'R', 'O', 'V', 'S', 'E', 'G', '1'}
+
+const (
+	recordHeaderSize = 8 // u32 length + u32 crc32c
+	// DefaultSegmentSize rotates segments at 8 MiB, large enough to
+	// amortise file overhead, small enough for cheap compaction.
+	DefaultSegmentSize = 8 << 20
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrNotFound reports a bundle ID absent from the store.
+var ErrNotFound = errors.New("storage: bundle not found")
+
+// ErrCorrupt reports an unreadable sealed segment.
+var ErrCorrupt = errors.New("storage: corrupt segment")
+
+// Options tune a Store.
+type Options struct {
+	// SegmentSize is the rotation threshold in bytes; 0 means
+	// DefaultSegmentSize.
+	SegmentSize int64
+	// SyncEvery fsyncs the active segment after every n appends;
+	// 0 disables explicit fsync (the OS flushes on its schedule).
+	SyncEvery int
+}
+
+// recordPos locates a record inside a segment.
+type recordPos struct {
+	seg    int
+	offset int64
+	length int64 // payload length
+}
+
+// Store is the bundle store. Safe for concurrent use.
+type Store struct {
+	mu   sync.Mutex
+	dir  string
+	opts Options
+
+	active     *os.File
+	activeSeg  int
+	activeSize int64
+	appends    int
+
+	index     map[bundle.ID]recordPos
+	deadBytes int64 // superseded record bytes, Compact trigger signal
+	liveBytes int64
+}
+
+// Open opens (creating if needed) the store at dir and replays existing
+// segments to rebuild the directory.
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.SegmentSize <= 0 {
+		opts.SegmentSize = DefaultSegmentSize
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	s := &Store{
+		dir:   dir,
+		opts:  opts,
+		index: make(map[bundle.ID]recordPos),
+	}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// segPath names segment n.
+func (s *Store) segPath(n int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("seg-%06d.bls", n))
+}
+
+// listSegments returns existing segment numbers ascending.
+func (s *Store) listSegments() ([]int, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []int
+	for _, e := range entries {
+		var n int
+		if _, err := fmt.Sscanf(e.Name(), "seg-%06d.bls", &n); err == nil {
+			segs = append(segs, n)
+		}
+	}
+	sort.Ints(segs)
+	return segs, nil
+}
+
+// recover replays all segments, rebuilding the index. The final segment
+// tolerates a torn tail, which is truncated away; earlier segments must
+// be pristine.
+func (s *Store) recover() error {
+	segs, err := s.listSegments()
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	for i, seg := range segs {
+		last := i == len(segs)-1
+		validLen, err := s.replaySegment(seg, last)
+		if err != nil {
+			return err
+		}
+		if last {
+			s.activeSeg = seg
+			s.activeSize = validLen
+		}
+	}
+	if len(segs) == 0 {
+		return s.rotateLocked()
+	}
+	// Reopen the final segment for appending, truncating a torn tail.
+	f, err := os.OpenFile(s.segPath(s.activeSeg), os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	if err := f.Truncate(s.activeSize); err != nil {
+		f.Close()
+		return fmt.Errorf("storage: truncate torn tail: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return fmt.Errorf("storage: %w", err)
+	}
+	s.active = f
+	return nil
+}
+
+// replaySegment scans one segment, indexing its records. It returns the
+// byte length of the valid prefix. tolerateTail permits a torn final
+// record (returning the prefix before it); otherwise corruption errors.
+func (s *Store) replaySegment(seg int, tolerateTail bool) (int64, error) {
+	f, err := os.Open(s.segPath(seg))
+	if err != nil {
+		return 0, fmt.Errorf("storage: %w", err)
+	}
+	defer f.Close()
+
+	var magic [8]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil || magic != segMagic {
+		if tolerateTail && err != nil {
+			return 0, fmt.Errorf("%w: segment %d: unreadable header", ErrCorrupt, seg)
+		}
+		return 0, fmt.Errorf("%w: segment %d: bad magic", ErrCorrupt, seg)
+	}
+	offset := int64(len(segMagic))
+	var hdr [recordHeaderSize]byte
+	for {
+		_, err := io.ReadFull(f, hdr[:])
+		if err == io.EOF {
+			return offset, nil
+		}
+		if err != nil { // torn header
+			if tolerateTail {
+				return offset, nil
+			}
+			return 0, fmt.Errorf("%w: segment %d: torn header at %d", ErrCorrupt, seg, offset)
+		}
+		length := int64(binary.LittleEndian.Uint32(hdr[0:4]))
+		wantCRC := binary.LittleEndian.Uint32(hdr[4:8])
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			if tolerateTail {
+				return offset, nil
+			}
+			return 0, fmt.Errorf("%w: segment %d: torn payload at %d", ErrCorrupt, seg, offset)
+		}
+		if crc32.Checksum(payload, crcTable) != wantCRC {
+			if tolerateTail {
+				return offset, nil
+			}
+			return 0, fmt.Errorf("%w: segment %d: bad checksum at %d", ErrCorrupt, seg, offset)
+		}
+		b, err := bundle.Unmarshal(payload)
+		if err != nil {
+			if tolerateTail {
+				return offset, nil
+			}
+			return 0, fmt.Errorf("%w: segment %d: undecodable record at %d: %v", ErrCorrupt, seg, offset, err)
+		}
+		s.indexRecord(b.ID(), recordPos{seg: seg, offset: offset, length: length})
+		offset += recordHeaderSize + length
+	}
+}
+
+// indexRecord records the newest position of id, tracking dead bytes of
+// any superseded record.
+func (s *Store) indexRecord(id bundle.ID, pos recordPos) {
+	if old, ok := s.index[id]; ok {
+		s.deadBytes += recordHeaderSize + old.length
+		s.liveBytes -= recordHeaderSize + old.length
+	}
+	s.index[id] = pos
+	s.liveBytes += recordHeaderSize + pos.length
+}
+
+// rotateLocked seals the active segment and opens the next one.
+// Caller holds s.mu (or is in single-threaded Open).
+func (s *Store) rotateLocked() error {
+	if s.active != nil {
+		if err := s.active.Sync(); err != nil {
+			return fmt.Errorf("storage: %w", err)
+		}
+		if err := s.active.Close(); err != nil {
+			return fmt.Errorf("storage: %w", err)
+		}
+	}
+	s.activeSeg++
+	f, err := os.OpenFile(s.segPath(s.activeSeg), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	if _, err := f.Write(segMagic[:]); err != nil {
+		f.Close()
+		return fmt.Errorf("storage: %w", err)
+	}
+	s.active = f
+	s.activeSize = int64(len(segMagic))
+	return nil
+}
+
+// Put appends b to the store. A bundle already present is superseded by
+// the new record.
+func (s *Store) Put(b *bundle.Bundle) error {
+	payload := b.Marshal()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.activeSize >= s.opts.SegmentSize {
+		if err := s.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	var hdr [recordHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	if _, err := s.active.Write(hdr[:]); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	if _, err := s.active.Write(payload); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	s.indexRecord(b.ID(), recordPos{seg: s.activeSeg, offset: s.activeSize, length: int64(len(payload))})
+	s.activeSize += recordHeaderSize + int64(len(payload))
+	s.appends++
+	if s.opts.SyncEvery > 0 && s.appends%s.opts.SyncEvery == 0 {
+		if err := s.active.Sync(); err != nil {
+			return fmt.Errorf("storage: %w", err)
+		}
+	}
+	return nil
+}
+
+// Get loads bundle id.
+func (s *Store) Get(id bundle.ID) (*bundle.Bundle, error) {
+	s.mu.Lock()
+	pos, ok := s.index[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: id %d", ErrNotFound, id)
+	}
+	return s.readAt(pos)
+}
+
+func (s *Store) readAt(pos recordPos) (*bundle.Bundle, error) {
+	// The active segment is written through s.active; reads open their
+	// own handle so readers never disturb the append cursor.
+	f, err := os.Open(s.segPath(pos.seg))
+	if err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	defer f.Close()
+	buf := make([]byte, recordHeaderSize+pos.length)
+	if _, err := f.ReadAt(buf, pos.offset); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	wantCRC := binary.LittleEndian.Uint32(buf[4:8])
+	payload := buf[recordHeaderSize:]
+	if crc32.Checksum(payload, crcTable) != wantCRC {
+		return nil, fmt.Errorf("%w: checksum mismatch for segment %d offset %d", ErrCorrupt, pos.seg, pos.offset)
+	}
+	b, err := bundle.Unmarshal(payload)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return b, nil
+}
+
+// Has reports whether id is stored.
+func (s *Store) Has(id bundle.ID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.index[id]
+	return ok
+}
+
+// Count returns the number of live bundles.
+func (s *Store) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// LiveBytes and DeadBytes report record accounting; their ratio drives
+// Compact policy.
+func (s *Store) LiveBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.liveBytes
+}
+
+// DeadBytes returns superseded record bytes awaiting compaction.
+func (s *Store) DeadBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.deadBytes
+}
+
+// IDs returns every stored bundle ID, ascending.
+func (s *Store) IDs() []bundle.ID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]bundle.ID, 0, len(s.index))
+	for id := range s.index {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Scan calls fn for every live bundle in ascending ID order, stopping
+// at the first error.
+func (s *Store) Scan(fn func(*bundle.Bundle) error) error {
+	for _, id := range s.IDs() {
+		b, err := s.Get(id)
+		if err != nil {
+			return err
+		}
+		if err := fn(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Compact rewrites live records into fresh segments and deletes old
+// ones, reclaiming dead bytes. The store stays readable during the
+// rewrite but Put is excluded for its duration.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	oldSegs, err := s.listSegments()
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	ids := make([]bundle.ID, 0, len(s.index))
+	for id := range s.index {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	// Read everything first (positions reference old segments).
+	bundles := make([]*bundle.Bundle, 0, len(ids))
+	for _, id := range ids {
+		b, err := s.readAt(s.index[id])
+		if err != nil {
+			return err
+		}
+		bundles = append(bundles, b)
+	}
+
+	// Start a fresh segment chain after the old ones.
+	if s.active != nil {
+		s.active.Close()
+		s.active = nil
+	}
+	s.index = make(map[bundle.ID]recordPos, len(ids))
+	s.liveBytes, s.deadBytes = 0, 0
+	if err := s.rotateLocked(); err != nil {
+		return err
+	}
+	for _, b := range bundles {
+		payload := b.Marshal()
+		if s.activeSize >= s.opts.SegmentSize {
+			if err := s.rotateLocked(); err != nil {
+				return err
+			}
+		}
+		var hdr [recordHeaderSize]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+		if _, err := s.active.Write(hdr[:]); err != nil {
+			return fmt.Errorf("storage: %w", err)
+		}
+		if _, err := s.active.Write(payload); err != nil {
+			return fmt.Errorf("storage: %w", err)
+		}
+		s.indexRecord(b.ID(), recordPos{seg: s.activeSeg, offset: s.activeSize, length: int64(len(payload))})
+		s.activeSize += recordHeaderSize + int64(len(payload))
+	}
+	if err := s.active.Sync(); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	for _, seg := range oldSegs {
+		if err := os.Remove(s.segPath(seg)); err != nil {
+			return fmt.Errorf("storage: remove old segment: %w", err)
+		}
+	}
+	return nil
+}
+
+// Close syncs and closes the active segment.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.active == nil {
+		return nil
+	}
+	if err := s.active.Sync(); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	err := s.active.Close()
+	s.active = nil
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,235 @@
+// Package sumindex implements the paper's summary index (Section IV-B,
+// Figure 5): an inverted index whose top-level keys are bundle
+// indicants — hashtags, URLs, keywords, and the RT-oriented user class —
+// and whose posting lists enumerate the bundles carrying each indicant
+// together with occurrence counts.
+//
+// The index serves two operations on the ingest hot path:
+//
+//   - Candidates: given a new message's indicants, fetch the candidate
+//     bundle list (Algorithm 1, step 1);
+//   - Observe/Forget: keep the postings in sync as messages join
+//     bundles and as the pool evicts bundles (Algorithm 1, step 3 and
+//     Algorithm 3's delete_index).
+package sumindex
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"provex/internal/metrics"
+	"provex/internal/score"
+)
+
+// Class identifies an indicant family — a top-level key group of the
+// summary index.
+type Class uint8
+
+// Indicant classes. ClassUser is the paper's "more system specific
+// fields can also be included, like the RT information": it lets a
+// re-share route to the bundle containing the re-shared user's posts.
+const (
+	ClassTag Class = iota
+	ClassURL
+	ClassKeyword
+	ClassUser
+	numClasses
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case ClassTag:
+		return "hashtag"
+	case ClassURL:
+		return "url"
+	case ClassKeyword:
+		return "keyword"
+	case ClassUser:
+		return "user"
+	default:
+		return fmt.Sprintf("class%d", uint8(c))
+	}
+}
+
+// BundleID mirrors bundle.ID without importing the bundle package,
+// keeping sumindex reusable below it in the dependency order.
+type BundleID uint64
+
+// Index is the summary index. Not safe for concurrent use; the engine
+// serialises ingest.
+type Index struct {
+	classes [numClasses]map[string]map[BundleID]uint32
+	mem     metrics.MemEstimator
+	// enabled masks which classes participate in Candidates — the
+	// keyword class can be switched off for the ablation study.
+	enabled [numClasses]bool
+	// maxFanout skips postings longer than this during candidate fetch
+	// (0 = unlimited). Hyper-frequent terms ("game" on a baseball
+	// night) appear in thousands of bundles and carry no routing
+	// signal — the textbook stop-posting cut. Postings are still fully
+	// maintained, so changing the cap never loses state.
+	maxFanout int
+}
+
+// New creates an empty summary index with every class enabled and no
+// fanout cap.
+func New() *Index {
+	ix := &Index{}
+	for c := range ix.classes {
+		ix.classes[c] = make(map[string]map[BundleID]uint32)
+		ix.enabled[c] = true
+	}
+	return ix
+}
+
+// SetEnabled toggles a class's participation in candidate fetch.
+// Postings are still maintained so the class can be re-enabled.
+func (ix *Index) SetEnabled(c Class, on bool) { ix.enabled[c] = on }
+
+// SetMaxFanout bounds the posting-list length considered during
+// candidate fetch; 0 removes the bound.
+func (ix *Index) SetMaxFanout(n int) { ix.maxFanout = n }
+
+// Observe registers that doc joined bundle id: every indicant of the
+// message raises its posting count for that bundle (Algorithm 1,
+// step 3 — "update summary index").
+func (ix *Index) Observe(id BundleID, doc score.Doc) {
+	m := doc.Msg
+	for _, h := range m.Hashtags {
+		ix.add(ClassTag, h, id)
+	}
+	for _, u := range m.URLs {
+		ix.add(ClassURL, u, id)
+	}
+	for _, k := range doc.Keywords {
+		ix.add(ClassKeyword, k, id)
+	}
+	ix.add(ClassUser, m.User, id)
+}
+
+func (ix *Index) add(c Class, term string, id BundleID) {
+	posting, ok := ix.classes[c][term]
+	if !ok {
+		posting = make(map[BundleID]uint32, 1)
+		ix.classes[c][term] = posting
+		ix.mem.Add(metrics.MapEntryCost + metrics.StringCost(term))
+	}
+	if posting[id] == 0 {
+		ix.mem.Add(metrics.PostingCost)
+	}
+	posting[id]++
+}
+
+// Forget removes every posting of the bundle described by (tags, urls,
+// keys, users) — the distinct indicants a bundle reports via
+// Indicants(). It implements Algorithm 3's delete_index(b).
+func (ix *Index) Forget(id BundleID, tags, urls, keys, users []string) {
+	for _, t := range tags {
+		ix.drop(ClassTag, t, id)
+	}
+	for _, u := range urls {
+		ix.drop(ClassURL, u, id)
+	}
+	for _, k := range keys {
+		ix.drop(ClassKeyword, k, id)
+	}
+	for _, u := range users {
+		ix.drop(ClassUser, u, id)
+	}
+}
+
+func (ix *Index) drop(c Class, term string, id BundleID) {
+	posting, ok := ix.classes[c][term]
+	if !ok {
+		return
+	}
+	if _, ok := posting[id]; !ok {
+		return
+	}
+	delete(posting, id)
+	ix.mem.Sub(metrics.PostingCost)
+	if len(posting) == 0 {
+		delete(ix.classes[c], term)
+		ix.mem.Sub(metrics.MapEntryCost + metrics.StringCost(term))
+	}
+}
+
+// Candidate is one bundle surfaced by the summary index with the number
+// of indicant hits that surfaced it.
+type Candidate struct {
+	ID   BundleID
+	Hits int
+}
+
+// Candidates fetches the candidate bundle list for doc (Algorithm 1,
+// step 1): the union over the message's indicants of each indicant's
+// posting list. The result is ordered by descending hit count, then
+// ascending bundle ID, so callers can cap scoring work at the most
+// promising candidates.
+func (ix *Index) Candidates(doc score.Doc) []Candidate {
+	m := doc.Msg
+	hits := make(map[BundleID]int)
+	collect := func(c Class, term string) {
+		if !ix.enabled[c] {
+			return
+		}
+		posting := ix.classes[c][term]
+		if ix.maxFanout > 0 && len(posting) > ix.maxFanout {
+			return
+		}
+		for id := range posting {
+			hits[id]++
+		}
+	}
+	for _, h := range m.Hashtags {
+		collect(ClassTag, h)
+	}
+	for _, u := range m.URLs {
+		collect(ClassURL, u)
+	}
+	for _, k := range doc.Keywords {
+		collect(ClassKeyword, k)
+	}
+	if m.IsRT() {
+		collect(ClassUser, m.RTOf)
+	}
+	if len(hits) == 0 {
+		return nil
+	}
+	out := make([]Candidate, 0, len(hits))
+	for id, n := range hits {
+		out = append(out, Candidate{ID: id, Hits: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Hits != out[j].Hits {
+			return out[i].Hits > out[j].Hits
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Postings returns the bundles carrying term in class c, with counts.
+// Query support uses it for the i(q,B) indicant-closeness factor of
+// Eq. 7.
+func (ix *Index) Postings(c Class, term string) map[BundleID]uint32 {
+	return ix.classes[c][term]
+}
+
+// Terms returns the number of distinct terms in class c.
+func (ix *Index) Terms(c Class) int { return len(ix.classes[c]) }
+
+// MemBytes is the analytic memory estimate of the index.
+func (ix *Index) MemBytes() int64 { return ix.mem.Bytes() }
+
+// Stats renders a per-class size summary for diagnostics.
+func (ix *Index) Stats() string {
+	var b strings.Builder
+	for c := Class(0); c < numClasses; c++ {
+		fmt.Fprintf(&b, "%s=%d ", c, len(ix.classes[c]))
+	}
+	fmt.Fprintf(&b, "mem=%dB", ix.MemBytes())
+	return b.String()
+}

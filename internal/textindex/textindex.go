@@ -1,0 +1,295 @@
+// Package textindex is an embedded full-text search engine — the
+// stdlib-only substitute for the Lucene instance the paper used for its
+// query support. It provides an incremental inverted index with BM25
+// ranking, boolean conjunction, and tombstone deletes.
+//
+// Documents are opaque to the index: callers supply a uint64 document ID
+// and a bag of terms. The provenance query module indexes messages (the
+// Figure 1 baseline search) and bundle summaries (the s(q,B) component
+// of Eq. 7) in separate Index instances.
+package textindex
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+	"sync"
+)
+
+// DocID identifies an indexed document.
+type DocID uint64
+
+// posting records one document's term occurrence count.
+type posting struct {
+	doc DocID
+	tf  uint32
+}
+
+// BM25 tuning constants — the standard Robertson defaults.
+const (
+	bm25K1 = 1.2
+	bm25B  = 0.75
+)
+
+// Index is an incremental inverted index. All methods are safe for
+// concurrent use; writes take an exclusive lock.
+type Index struct {
+	mu       sync.RWMutex
+	postings map[string][]posting
+	docLen   map[DocID]int
+	deleted  map[DocID]bool
+	totalLen int64 // sum of live+deleted doc lengths, adjusted on delete
+	liveDocs int
+}
+
+// New returns an empty index.
+func New() *Index {
+	return &Index{
+		postings: make(map[string][]posting),
+		docLen:   make(map[DocID]int),
+		deleted:  make(map[DocID]bool),
+	}
+}
+
+// Add indexes doc with the given term bag. Duplicate terms raise term
+// frequency. Re-adding an existing live document is a programming error
+// and panics; re-adding a deleted document resurrects it under the same
+// ID with the new content semantics of appended postings (callers in
+// provex never reuse IDs, the panic guards that invariant).
+func (ix *Index) Add(doc DocID, terms []string) {
+	if len(terms) == 0 {
+		return
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if _, ok := ix.docLen[doc]; ok && !ix.deleted[doc] {
+		panic("textindex: duplicate Add for live document")
+	}
+	tf := make(map[string]uint32, len(terms))
+	for _, t := range terms {
+		if t == "" {
+			continue
+		}
+		tf[t]++
+	}
+	for t, n := range tf {
+		ix.postings[t] = append(ix.postings[t], posting{doc: doc, tf: n})
+	}
+	delete(ix.deleted, doc)
+	ix.docLen[doc] = len(terms)
+	ix.totalLen += int64(len(terms))
+	ix.liveDocs++
+}
+
+// Delete tombstones doc. Postings are filtered lazily at query time;
+// Compact reclaims them. Deleting an unknown or already deleted doc is
+// a no-op.
+func (ix *Index) Delete(doc DocID) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if _, ok := ix.docLen[doc]; !ok || ix.deleted[doc] {
+		return
+	}
+	ix.deleted[doc] = true
+	ix.totalLen -= int64(ix.docLen[doc])
+	ix.liveDocs--
+}
+
+// Compact removes tombstoned postings and reclaims memory. Amortised
+// callers should invoke it when DeletedRatio grows past a threshold.
+func (ix *Index) Compact() {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if len(ix.deleted) == 0 {
+		return
+	}
+	for t, ps := range ix.postings {
+		live := ps[:0]
+		for _, p := range ps {
+			if !ix.deleted[p.doc] {
+				live = append(live, p)
+			}
+		}
+		if len(live) == 0 {
+			delete(ix.postings, t)
+			continue
+		}
+		ix.postings[t] = live
+	}
+	for doc := range ix.deleted {
+		delete(ix.docLen, doc)
+	}
+	ix.deleted = make(map[DocID]bool)
+}
+
+// Docs returns the number of live documents.
+func (ix *Index) Docs() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.liveDocs
+}
+
+// Terms returns the vocabulary size (including terms only present in
+// tombstoned docs until Compact runs).
+func (ix *Index) Terms() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.postings)
+}
+
+// DeletedRatio reports the fraction of known documents that are
+// tombstoned, the Compact trigger signal.
+func (ix *Index) DeletedRatio() float64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if len(ix.docLen) == 0 {
+		return 0
+	}
+	return float64(len(ix.deleted)) / float64(len(ix.docLen))
+}
+
+// Hit is one ranked search result.
+type Hit struct {
+	Doc   DocID
+	Score float64
+}
+
+// Search ranks live documents against the term bag by BM25 and returns
+// the top k hits, best first. Documents matching more query terms score
+// higher through summation; no coordination factor is applied beyond
+// that.
+func (ix *Index) Search(terms []string, k int) []Hit {
+	if k <= 0 || len(terms) == 0 {
+		return nil
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if ix.liveDocs == 0 {
+		return nil
+	}
+	avgdl := float64(ix.totalLen) / float64(ix.liveDocs)
+	if avgdl <= 0 {
+		avgdl = 1
+	}
+
+	// Accumulate BM25 contributions per candidate document.
+	scores := make(map[DocID]float64)
+	seen := make(map[string]bool, len(terms))
+	for _, t := range terms {
+		if t == "" || seen[t] {
+			continue
+		}
+		seen[t] = true
+		ps := ix.postings[t]
+		if len(ps) == 0 {
+			continue
+		}
+		df := 0
+		for _, p := range ps {
+			if !ix.deleted[p.doc] {
+				df++
+			}
+		}
+		if df == 0 {
+			continue
+		}
+		idf := math.Log(1 + (float64(ix.liveDocs)-float64(df)+0.5)/(float64(df)+0.5))
+		for _, p := range ps {
+			if ix.deleted[p.doc] {
+				continue
+			}
+			dl := float64(ix.docLen[p.doc])
+			tf := float64(p.tf)
+			norm := tf * (bm25K1 + 1) / (tf + bm25K1*(1-bm25B+bm25B*dl/avgdl))
+			scores[p.doc] += idf * norm
+		}
+	}
+	return topK(scores, k)
+}
+
+// Conjunction returns the live documents containing every term, in
+// ascending DocID order. Empty terms yield nil.
+func (ix *Index) Conjunction(terms []string) []DocID {
+	if len(terms) == 0 {
+		return nil
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	var lists [][]posting
+	for _, t := range terms {
+		ps, ok := ix.postings[t]
+		if !ok {
+			return nil
+		}
+		lists = append(lists, ps)
+	}
+	// Intersect starting from the rarest list.
+	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
+	candidates := make(map[DocID]int, len(lists[0]))
+	for _, p := range lists[0] {
+		if !ix.deleted[p.doc] {
+			candidates[p.doc] = 1
+		}
+	}
+	for _, ps := range lists[1:] {
+		for _, p := range ps {
+			if n, ok := candidates[p.doc]; ok {
+				candidates[p.doc] = n + 1
+			}
+		}
+	}
+	var out []DocID
+	for doc, n := range candidates {
+		if n == len(lists) {
+			out = append(out, doc)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// hitHeap is a min-heap over scores (ties broken by larger DocID so the
+// final ascending-score pop order yields deterministic results).
+type hitHeap []Hit
+
+func (h hitHeap) Len() int { return len(h) }
+func (h hitHeap) Less(i, j int) bool {
+	if h[i].Score != h[j].Score {
+		return h[i].Score < h[j].Score
+	}
+	return h[i].Doc > h[j].Doc
+}
+func (h hitHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *hitHeap) Push(x interface{}) { *h = append(*h, x.(Hit)) }
+func (h *hitHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// topK selects the k best-scoring hits, best first; ties break toward
+// smaller DocID for determinism.
+func topK(scores map[DocID]float64, k int) []Hit {
+	h := make(hitHeap, 0, k)
+	heap.Init(&h)
+	for doc, s := range scores {
+		if len(h) < k {
+			heap.Push(&h, Hit{Doc: doc, Score: s})
+			continue
+		}
+		if s > h[0].Score || (s == h[0].Score && doc < h[0].Doc) {
+			h[0] = Hit{Doc: doc, Score: s}
+			heap.Fix(&h, 0)
+		}
+	}
+	if len(h) == 0 {
+		return nil
+	}
+	out := make([]Hit, len(h))
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&h).(Hit)
+	}
+	return out
+}

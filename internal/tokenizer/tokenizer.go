@@ -1,0 +1,176 @@
+// Package tokenizer provides the text-processing substrate shared by the
+// full-text index and the provenance summary index: tokenisation of
+// micro-blog text, stop-word filtering, light suffix stemming and keyword
+// selection.
+//
+// The paper's "text" connection type (Table II) intersects the word sets
+// of two messages, and its summary index carries a keywords indicant
+// class next to hashtags and URLs; both consume the output of this
+// package.
+package tokenizer
+
+import (
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// MinTokenLen is the shortest token kept by Keywords; one- and two-letter
+// fragments ("rt", "ny", emoticon residue) carry almost no topical signal
+// in 140-character messages and would bloat posting lists.
+const MinTokenLen = 3
+
+// Tokenize splits text into lower-cased word tokens. Hashtag and mention
+// sigils are dropped (the indicant extractors in package tweet own those
+// classes); URLs are skipped entirely so link fragments do not pollute
+// the vocabulary; everything else splits on non-alphanumeric runes.
+func Tokenize(text string) []string {
+	var out []string
+	i := 0
+	for i < len(text) {
+		// Skip URLs wholesale.
+		if hasURLPrefix(text[i:]) {
+			for i < len(text) && !unicode.IsSpace(rune(text[i])) {
+				i++
+			}
+			continue
+		}
+		c := rune(text[i])
+		if !isWordRune(c) {
+			i++
+			continue
+		}
+		start := i
+		for i < len(text) && isWordRune(rune(text[i])) {
+			i++
+		}
+		out = append(out, strings.ToLower(text[start:i]))
+	}
+	return out
+}
+
+func isWordRune(r rune) bool {
+	return r == '_' || r == '\'' ||
+		('a' <= r && r <= 'z') || ('A' <= r && r <= 'Z') || ('0' <= r && r <= '9')
+}
+
+func hasURLPrefix(s string) bool {
+	return strings.HasPrefix(s, "http://") || strings.HasPrefix(s, "https://") ||
+		strings.HasPrefix(s, "www.")
+}
+
+// stopwords is the filter list applied by Keywords. It mixes standard
+// English function words with micro-blog chatter ("lol", "omg", "rt")
+// that the paper's Figure 1 shows dominating noisy messages.
+var stopwords = func() map[string]bool {
+	words := []string{
+		"a", "about", "after", "again", "all", "also", "am", "an", "and",
+		"any", "are", "as", "at", "be", "because", "been", "before",
+		"being", "but", "by", "can", "cannot", "could", "did", "do",
+		"does", "doing", "don", "down", "during", "each", "few", "for",
+		"from", "further", "get", "got", "had", "has", "have", "having",
+		"he", "her", "here", "hers", "him", "his", "how", "i", "if", "in",
+		"into", "is", "it", "its", "just", "like", "me", "more", "most",
+		"my", "no", "nor", "not", "now", "of", "off", "on", "once",
+		"only", "or", "other", "our", "out", "over", "own", "same",
+		"she", "so", "some", "such", "than", "that", "the", "their",
+		"them", "then", "there", "these", "they", "this", "those",
+		"through", "to", "too", "under", "until", "up", "very", "was",
+		"we", "were", "what", "when", "where", "which", "while", "who",
+		"whom", "why", "will", "with", "would", "you", "your",
+		// contractions produced by our apostrophe-keeping tokenizer
+		"i'm", "it's", "don't", "can't", "won't", "didn't", "that's",
+		"you're", "he's", "she's", "isn't", "aren't", "wasn't",
+		// micro-blog chatter
+		"rt", "via", "lol", "omg", "wow", "yeah", "hey", "ugh", "argh",
+		"sigh", "haha", "hahaha", "u", "ur", "im", "dont", "cant",
+	}
+	m := make(map[string]bool, len(words))
+	for _, w := range words {
+		m[w] = true
+	}
+	return m
+}()
+
+// IsStopword reports whether the (already lower-cased) token is filtered
+// from keyword sets.
+func IsStopword(tok string) bool { return stopwords[tok] }
+
+// Stem applies a light, deterministic suffix stemmer — a few high-value
+// rules rather than full Porter — so "yankees"/"yankee" and
+// "wins"/"winning"/"win" collide in the keyword space the way the
+// paper's bundle summaries (Figure 2) show merged word forms.
+func Stem(tok string) string {
+	n := len(tok)
+	switch {
+	case n > 5 && strings.HasSuffix(tok, "ing"):
+		return tok[:n-3]
+	case n > 4 && strings.HasSuffix(tok, "ies"):
+		return tok[:n-3] + "y"
+	case n > 4 && strings.HasSuffix(tok, "ed") && tok[n-3] != 'e':
+		return tok[:n-2]
+	case n > 3 && strings.HasSuffix(tok, "es") && !strings.HasSuffix(tok, "ses"):
+		return tok[:n-1]
+	case n > 3 && strings.HasSuffix(tok, "s") && !strings.HasSuffix(tok, "ss"):
+		return tok[:n-1]
+	}
+	return tok
+}
+
+// Keywords returns the deduplicated, stemmed, stopword-filtered keyword
+// set of text, in first-occurrence order. This is the "text" indicant of
+// Table II and the keywords class of the summary index.
+func Keywords(text string) []string {
+	toks := Tokenize(text)
+	var out []string
+	seen := make(map[string]bool, len(toks))
+	for _, tok := range toks {
+		if len(tok) < MinTokenLen || IsStopword(tok) || isNumeric(tok) {
+			continue
+		}
+		tok = Stem(tok)
+		if len(tok) < MinTokenLen || seen[tok] {
+			continue
+		}
+		seen[tok] = true
+		out = append(out, tok)
+	}
+	return out
+}
+
+func isNumeric(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// TopTerms returns the k highest-count terms of counts, ties broken
+// alphabetically for determinism. Bundle summaries use it to render the
+// "Summary Words" column of the paper's Figure 2 result list.
+func TopTerms(counts map[string]int, k int) []string {
+	type tc struct {
+		term  string
+		count int
+	}
+	all := make([]tc, 0, len(counts))
+	for t, c := range counts {
+		all = append(all, tc{t, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].count != all[j].count {
+			return all[i].count > all[j].count
+		}
+		return all[i].term < all[j].term
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]string, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].term
+	}
+	return out
+}

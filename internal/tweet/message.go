@@ -1,0 +1,116 @@
+// Package tweet defines the micro-blog message model used throughout
+// provex and a parser that extracts the annotated indicants the paper's
+// provenance model is built on: hashtags, URLs, user mentions, and the
+// re-share (RT) relation.
+//
+// Definition 1 of the paper represents each message as the multi-field
+// tuple [date, user, msg, urls, hashtags, rt]; Message mirrors that tuple
+// and adds a stable identifier so connections between messages can be
+// recorded as (parent ID, child ID) edges.
+package tweet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ID is a stable message identifier, assigned by the producer of a stream
+// (the crawler in the paper, the generator or loader here). IDs increase
+// with publication order within a single stream but carry no other meaning.
+type ID uint64
+
+// MaxTextLen is the classic micro-blog message length limit. The parser
+// does not reject longer texts (real crawls contain them after entity
+// expansion) but the generator honours it.
+const MaxTextLen = 140
+
+// Message is one micro-blog post: Definition 1's multi-field tuple.
+//
+// The annotated indicants (URLs, Hashtags, Mentions, RT) are extracted by
+// Parse; code receiving a Message may rely on them being normalised:
+// hashtags lower-cased without '#', mentions lower-cased without '@',
+// URLs lower-cased with scheme stripped.
+type Message struct {
+	ID   ID
+	Date time.Time
+	User string
+	Text string
+
+	// Extracted indicants.
+	URLs     []string
+	Hashtags []string
+	Mentions []string
+
+	// RTOf names the user whose message this one re-shares ("RT @user:"),
+	// empty when the message is original. RTComment holds any text the
+	// re-sharer prepended before the RT marker.
+	RTOf      string
+	RTComment string
+}
+
+// IsRT reports whether the message re-shares a previous one.
+func (m *Message) IsRT() bool { return m.RTOf != "" }
+
+// Clone returns a deep copy of the message. Slices are copied so the
+// clone may be mutated independently.
+func (m *Message) Clone() *Message {
+	c := *m
+	c.URLs = append([]string(nil), m.URLs...)
+	c.Hashtags = append([]string(nil), m.Hashtags...)
+	c.Mentions = append([]string(nil), m.Mentions...)
+	return &c
+}
+
+// String renders the message in the compact "user date: text" form used
+// in examples and test failure output.
+func (m *Message) String() string {
+	return fmt.Sprintf("%s %s: %s", m.User, m.Date.Format("2006-01-02 15:04:05"), m.Text)
+}
+
+// Validate checks structural invariants a well-formed message must hold.
+// It is used by codecs and the generator's self-checks rather than on the
+// hot ingest path.
+func (m *Message) Validate() error {
+	switch {
+	case m.User == "":
+		return errors.New("tweet: empty user")
+	case m.Date.IsZero():
+		return errors.New("tweet: zero date")
+	case strings.TrimSpace(m.Text) == "":
+		return errors.New("tweet: empty text")
+	}
+	for _, h := range m.Hashtags {
+		if h == "" || strings.ContainsAny(h, "# \t\n") {
+			return fmt.Errorf("tweet: malformed hashtag %q", h)
+		}
+		if h != strings.ToLower(h) {
+			return fmt.Errorf("tweet: hashtag %q not normalised", h)
+		}
+	}
+	for _, u := range m.URLs {
+		if u == "" || strings.ContainsAny(u, " \t\n") {
+			return fmt.Errorf("tweet: malformed url %q", u)
+		}
+	}
+	for _, u := range m.Mentions {
+		if u == "" || strings.ContainsAny(u, "@ \t\n") {
+			return fmt.Errorf("tweet: malformed mention %q", u)
+		}
+	}
+	return nil
+}
+
+// SortByDate orders messages by publication date, breaking ties by ID, so
+// that replaying them forms a valid stream (Definition 1 requires the
+// stream ordered by published date).
+func SortByDate(ms []*Message) {
+	sort.SliceStable(ms, func(i, j int) bool {
+		if !ms[i].Date.Equal(ms[j].Date) {
+			return ms[i].Date.Before(ms[j].Date)
+		}
+		return ms[i].ID < ms[j].ID
+	})
+}
