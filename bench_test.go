@@ -13,9 +13,15 @@ package provex_test
 
 import (
 	"strconv"
+	"sync"
 	"testing"
 
+	"provex/internal/core"
 	"provex/internal/experiments"
+	"provex/internal/gen"
+	"provex/internal/pipeline"
+	"provex/internal/stream"
+	"provex/internal/tweet"
 )
 
 // benchScale shrinks the experiment streams so a full -bench=. pass
@@ -50,13 +56,19 @@ func lastRow(t *experiments.Table) []string {
 // sharedThree caches one three-method pass across the figure-view
 // benchmarks so -bench=. ingests the main stream once, mirroring how
 // the paper derives Figures 7/8/11/12/13 from the same simulation.
-var sharedThree *experiments.ThreeResult
+// sync.Once rather than a nil check: `go test -bench` can run benchmark
+// functions on fresh goroutines (and -cpu fans out further), so a plain
+// lazy-init global would race between the first two figure benchmarks.
+var (
+	sharedThreeOnce sync.Once
+	sharedThree     *experiments.ThreeResult
+)
 
 func three(b *testing.B) *experiments.ThreeResult {
 	b.Helper()
-	if sharedThree == nil {
+	sharedThreeOnce.Do(func() {
 		sharedThree = experiments.RunThreeMethods(benchScale())
-	}
+	})
 	return sharedThree
 }
 
@@ -183,6 +195,58 @@ func BenchmarkAblationRefineTrigger(b *testing.B) {
 		b.ReportMetric(cell(b, t.Rows[3][5]), "ingest_s_every_insert")
 	}
 }
+
+// Ingest throughput benches — serial engine vs the parallel prepare
+// pipeline on identical streams. Run with -benchmem to see the
+// allocation effect of the postings slab/interning overhaul too.
+
+// ingestMsgs lazily generates one shared bench stream; iterations clone
+// it because engines annotate and retain the messages they ingest.
+var (
+	ingestMsgsOnce sync.Once
+	ingestMsgs     []*tweet.Message
+)
+
+func benchStream(b *testing.B) []*tweet.Message {
+	b.Helper()
+	ingestMsgsOnce.Do(func() {
+		s := benchScale()
+		g := gen.New(gen.DefaultConfig())
+		ingestMsgs = make([]*tweet.Message, s.Messages)
+		for i := range ingestMsgs {
+			ingestMsgs[i] = g.Next()
+		}
+	})
+	return ingestMsgs
+}
+
+func benchIngest(b *testing.B, workers, matchWorkers int) {
+	msgs := benchStream(b)
+	s := benchScale()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		clones := stream.CloneSlice(msgs)
+		cfg := core.PartialIndexConfig(s.PoolLimit)
+		cfg.Parallel = core.ParallelOptions{Workers: workers, MatchWorkers: matchWorkers}
+		e := core.New(cfg, nil, nil)
+		b.StartTimer()
+		n, err := pipeline.IngestAll(e, stream.NewSliceSource(clones))
+		if err != nil || n != len(clones) {
+			b.Fatalf("IngestAll = (%d, %v)", n, err)
+		}
+	}
+	b.ReportMetric(float64(b.N*len(msgs))/b.Elapsed().Seconds(), "msgs/s")
+}
+
+// BenchmarkIngestSerial is the single-threaded baseline ingest path.
+func BenchmarkIngestSerial(b *testing.B) { benchIngest(b, 1, 1) }
+
+// BenchmarkIngestParallel runs 4 prepare workers and 2 match workers;
+// the speedup over serial only materialises with GOMAXPROCS >= 4 (the
+// apply stage stays single-writer).
+func BenchmarkIngestParallel(b *testing.B) { benchIngest(b, 4, 2) }
 
 func BenchmarkAblationKeywordClass(b *testing.B) {
 	for i := 0; i < b.N; i++ {

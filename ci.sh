@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# CI gate: build, vet, unit tests, then the race-detector pass. The
+# race pass matters since the ingest pipeline grew concurrent stages
+# (prepare worker pool, parallel match scoring, read-lock queries).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== go build =="
+go build ./...
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "CI OK"

@@ -29,6 +29,7 @@ func main() {
 		messages = flag.Int("n", 0, "override the main stream length")
 		sweepN   = flag.Int("sweep-n", 0, "override the Fig 9 sweep stream length (pool limits scale proportionally)")
 		out      = flag.String("out", "-", "output path, '-' for stdout")
+		workers  = flag.Int("workers", 4, "prepare workers for the 'ingest' throughput comparison")
 	)
 	flag.Parse()
 
@@ -70,22 +71,23 @@ func main() {
 	valid := map[string]bool{
 		"6": true, "7": true, "8": true, "9": true, "10": true,
 		"11": true, "12": true, "13": true, "ablations": true, "all": true,
+		"ingest": true,
 	}
 	figs := map[string]bool{}
 	for _, f := range strings.Split(strings.ToLower(*fig), ",") {
 		f = strings.TrimSpace(f)
 		if !valid[f] {
-			fail("unknown figure %q (want 6..13, ablations or all)", f)
+			fail("unknown figure %q (want 6..13, ablations, ingest or all)", f)
 		}
 		figs[f] = true
 	}
-	run(w, s, figs)
+	run(w, s, figs, *workers)
 }
 
 // run executes the requested figure(s). Figures 7, 8, 11, 12 and 13
 // share one three-method pass so 'all' (or any comma-joined subset of
 // them) ingests the main stream once.
-func run(w io.Writer, s experiments.Scale, figs map[string]bool) {
+func run(w io.Writer, s experiments.Scale, figs map[string]bool, workers int) {
 	start := time.Now()
 	fmt.Fprintf(w, "provbench: scale messages=%d sweep=%d pool=%d bundle_limit=%d seed=%d\n\n",
 		s.Messages, s.SweepMessages, s.PoolLimit, s.BundleLimit, s.Seed)
@@ -139,6 +141,13 @@ func run(w io.Writer, s experiments.Scale, figs map[string]bool) {
 	}
 	if three != nil {
 		emit(experiments.ConnBreakdown(three))
+	}
+	// The ingest throughput comparison is opt-in (not part of 'all'): it
+	// re-ingests the main stream twice and only shows a speedup on
+	// multi-core machines.
+	if figs["ingest"] {
+		fmt.Fprintln(os.Stderr, "provbench: ingest throughput comparison...")
+		emit(experiments.IngestBench(s, workers))
 	}
 	if wants("ablations") {
 		fmt.Fprintln(os.Stderr, "provbench: ablations...")

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"provex/internal/core"
+	"provex/internal/pipeline"
 	"provex/internal/storage"
 	"provex/internal/stream"
 )
@@ -28,8 +29,16 @@ func main() {
 		bundleLimit = flag.Int("bundle-limit", 500, "max bundle size (limit mode)")
 		storeDir    = flag.String("store", "", "optional on-disk bundle store directory")
 		progress    = flag.Int("progress", 100_000, "print a progress line every N messages (0 = off)")
+		workers     = flag.Int("workers", 1, "concurrent prepare (keyword extraction) workers; <=1 ingests serially")
+		matchWkrs   = flag.Int("match-workers", 1, "concurrent Eq. 1 match-scoring workers on large candidate sets; <=1 scores serially")
 	)
 	flag.Parse()
+	if *workers < 1 {
+		*workers = 1
+	}
+	if *matchWkrs < 1 {
+		*matchWkrs = 1
+	}
 
 	var cfg core.Config
 	switch *mode {
@@ -42,6 +51,7 @@ func main() {
 	default:
 		fail("unknown mode %q (want full, partial or limit)", *mode)
 	}
+	cfg.Parallel = core.ParallelOptions{Workers: *workers, MatchWorkers: *matchWkrs}
 
 	var store *storage.Store
 	if *storeDir != "" {
@@ -65,17 +75,33 @@ func main() {
 
 	eng := core.New(cfg, store, nil)
 	src := stream.NewJSONLReader(r)
+
+	// Serial and parallel ingest share the apply loop: next() yields
+	// prepared messages either inline or from the worker pool, always in
+	// stream order so the resulting state is identical.
+	next := func() (core.Prepared, error) {
+		m, err := src.Next()
+		if err != nil {
+			return core.Prepared{}, err
+		}
+		return core.Prepare(m), nil
+	}
+	if *workers > 1 {
+		ps := pipeline.NewPreparedSource(src, *workers, 0)
+		next = ps.Next
+	}
+
 	start := time.Now()
 	n := 0
 	for {
-		m, err := src.Next()
+		p, err := next()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
 			fail("read: %v", err)
 		}
-		eng.Insert(m)
+		eng.InsertPrepared(p)
 		n++
 		if *progress > 0 && n%*progress == 0 {
 			st := eng.Snapshot()
@@ -100,8 +126,22 @@ func main() {
 	fmt.Printf("mem estimate    %.1f MB (bundles %.1f + index %.1f)\n",
 		float64(st.MemTotal())/(1<<20), float64(st.MemBundles)/(1<<20), float64(st.MemIndex)/(1<<20))
 	fmt.Printf("msgs in memory  %d\n", st.MessagesInMemory)
-	fmt.Printf("stage time      match=%.2fs place=%.2fs refine=%.2fs\n",
-		st.MatchTime.Seconds(), st.PlaceTime.Seconds(), st.RefineTime.Seconds())
+	// Stage split of ingest cost — the paper's Figure 13 breakdown, with
+	// the prepare (tokenize) stage separated out since it is the part
+	// the -workers pool runs concurrently.
+	stageTotal := st.PrepareTime + st.MatchTime + st.PlaceTime + st.RefineTime
+	pct := func(d time.Duration) float64 {
+		if stageTotal <= 0 {
+			return 0
+		}
+		return 100 * float64(d) / float64(stageTotal)
+	}
+	fmt.Printf("stage time      prepare=%.2fs (%.0f%%) match=%.2fs (%.0f%%) place=%.2fs (%.0f%%) refine=%.2fs (%.0f%%)\n",
+		st.PrepareTime.Seconds(), pct(st.PrepareTime),
+		st.MatchTime.Seconds(), pct(st.MatchTime),
+		st.PlaceTime.Seconds(), pct(st.PlaceTime),
+		st.RefineTime.Seconds(), pct(st.RefineTime))
+	fmt.Printf("workers         prepare=%d match=%d\n", *workers, *matchWkrs)
 	fmt.Printf("wall time       %.2fs (%.0f msg/s)\n", elapsed.Seconds(), float64(n)/elapsed.Seconds())
 	if store != nil {
 		fmt.Printf("store           %d bundles, %.1f MB live\n", store.Count(), float64(store.LiveBytes())/(1<<20))

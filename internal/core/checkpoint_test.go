@@ -26,7 +26,7 @@ func genSmall(seed int64) *gen.Generator {
 // snapshotComparable strips the stage timers (which legitimately differ
 // across processes) from a Stats for equality checks.
 func snapshotComparable(s Stats) Stats {
-	s.MatchTime, s.PlaceTime, s.RefineTime = 0, 0, 0
+	s.PrepareTime, s.MatchTime, s.PlaceTime, s.RefineTime = 0, 0, 0, 0
 	return s
 }
 

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"provex/internal/bundle"
@@ -23,7 +24,6 @@ import (
 	"provex/internal/storage"
 	"provex/internal/stream"
 	"provex/internal/sumindex"
-	"provex/internal/tokenizer"
 	"provex/internal/tweet"
 )
 
@@ -54,7 +54,38 @@ type Config struct {
 	// join threshold anyway, so the cut changes at most tie ranking
 	// while keeping ingest cost bounded per message.
 	MaxFanout int
+
+	// Parallel configures the concurrent ingest pipeline. The zero
+	// value keeps every stage serial — the paper's original
+	// single-threaded loop.
+	Parallel ParallelOptions
 }
+
+// ParallelOptions sizes the concurrent parts of the ingest pipeline.
+// Both stages preserve the exact serial semantics: prepare results are
+// applied strictly in stream order, and the parallel match reduction is
+// deterministic, so bundle assignment is byte-identical to a serial
+// run at any worker count.
+type ParallelOptions struct {
+	// Workers is the prepare-stage worker count consumed by the
+	// pipeline helpers (pipeline.IngestAll, pipeline.Service): parse
+	// and keyword extraction for up to this many messages run
+	// concurrently ahead of the single apply goroutine. <=1 prepares
+	// inline.
+	Workers int
+	// MatchWorkers fans the Eq. 1 scoring of one message's candidate
+	// list across this many goroutines when the list is at least
+	// MatchThreshold long. <=1 scores serially.
+	MatchWorkers int
+	// MatchThreshold is the minimum candidate-list length that
+	// justifies fanning out (goroutine handoff costs a few µs; short
+	// lists score faster inline). 0 uses DefaultMatchThreshold.
+	MatchThreshold int
+}
+
+// DefaultMatchThreshold is the candidate-list length at which the
+// parallel match starts paying for its goroutine handoff.
+const DefaultMatchThreshold = 64
 
 // FullIndexConfig is the unlimited baseline whose output the paper
 // treats as provenance ground truth.
@@ -123,9 +154,13 @@ type Stats struct {
 	MemIndex         int64 // analytic bytes in the summary index
 	MessagesInMemory int64
 
-	MatchTime  time.Duration
-	PlaceTime  time.Duration
-	RefineTime time.Duration
+	// PrepareTime accumulates the tokenize/precompute stage. Under
+	// parallel ingest the work runs concurrently on several workers, so
+	// this is CPU time, not wall time.
+	PrepareTime time.Duration
+	MatchTime   time.Duration
+	PlaceTime   time.Duration
+	RefineTime  time.Duration
 
 	Pool pool.Stats
 }
@@ -135,7 +170,12 @@ type Stats struct {
 func (s Stats) MemTotal() int64 { return s.MemBundles + s.MemIndex }
 
 // Engine is the provenance indexing engine. Not safe for concurrent
-// use: the paper's pipeline is a single temporally ordered stream.
+// use: the paper's pipeline is a single temporally ordered stream, so
+// one goroutine must own every Insert/InsertPrepared call. Concurrency
+// lives around that invariant, not inside it — Prepare is pure and runs
+// on the pipeline package's worker pool ahead of the apply loop, and
+// ParallelOptions.MatchWorkers fans the Eq. 1 candidate scan over
+// read-only goroutines within a single insert (see DESIGN.md §2c).
 type Engine struct {
 	cfg   Config
 	pool  *pool.Pool
@@ -145,6 +185,7 @@ type Engine struct {
 
 	onEdge EdgeFunc
 
+	prepTimer   metrics.StageTimer
 	matchTimer  metrics.StageTimer
 	placeTimer  metrics.StageTimer
 	refineTimer metrics.StageTimer
@@ -214,10 +255,40 @@ func (e *Engine) SetFlushObserver(fn func(*bundle.Bundle)) { e.onFlush = fn }
 // healthy.
 func (e *Engine) Err() error { return e.flushErr }
 
+// Prepared is the output of the pure precompute stage of Algorithm 1:
+// the message with its extracted keyword set (and the stage's measured
+// cost, charged to the engine's prepare timer at apply time). Prepare
+// touches no engine state, so any number of messages can be prepared
+// concurrently; InsertPrepared then applies them strictly in stream
+// order.
+type Prepared struct {
+	Doc  score.Doc
+	cost time.Duration
+}
+
+// Prepare runs the parse/tokenize precompute for m. Pure and safe for
+// concurrent use.
+func Prepare(m *tweet.Message) Prepared {
+	start := time.Now()
+	doc := score.NewDoc(m)
+	return Prepared{Doc: doc, cost: time.Since(start)}
+}
+
 // Insert runs Algorithm 1 for one message and returns where it landed.
 // Messages must arrive in stream (date) order.
 func (e *Engine) Insert(m *tweet.Message) InsertResult {
-	doc := score.Doc{Msg: m, Keywords: tokenizer.Keywords(m.Text)}
+	return e.InsertPrepared(Prepare(m))
+}
+
+// InsertPrepared is the sequential apply stage of Algorithm 1: match,
+// place, index update and periodic refinement for one prepared message.
+// Prepared messages must be applied in stream (date) order — the
+// pipeline package's order-preserving prepare pool guarantees that even
+// when Prepare ran out of order across workers.
+func (e *Engine) InsertPrepared(p Prepared) InsertResult {
+	doc := p.Doc
+	m := doc.Msg
+	e.prepTimer.Observe(p.cost)
 	e.clock.Observe(m)
 	e.messages.Inc()
 
@@ -261,12 +332,32 @@ func (e *Engine) Insert(m *tweet.Message) InsertResult {
 
 // matchBundle scores the summary-index candidates with Eq. 1 and
 // returns the best open bundle above the threshold, nil when none
-// qualifies.
+// qualifies. Long candidate lists fan out across MatchWorkers
+// goroutines; the reduction is deterministic (max score, ties to the
+// lowest bundle ID — exactly the serial loop's invariant), so the
+// parallel and serial paths always pick the same bundle.
 func (e *Engine) matchBundle(doc score.Doc) *bundle.Bundle {
 	cands := e.index.Candidates(doc)
 	if e.cfg.MaxCandidates > 0 && len(cands) > e.cfg.MaxCandidates {
 		cands = cands[:e.cfg.MaxCandidates]
 	}
+	threshold := e.cfg.Parallel.MatchThreshold
+	if threshold <= 0 {
+		threshold = DefaultMatchThreshold
+	}
+	if w := e.cfg.Parallel.MatchWorkers; w > 1 && len(cands) >= threshold {
+		return e.matchParallel(doc, cands, w)
+	}
+	best, _ := e.matchRange(doc, cands)
+	return best
+}
+
+// matchRange is the serial Eq. 1 scoring loop over one candidate
+// slice: the best open bundle scoring strictly above the join
+// threshold, ties broken toward the lowest bundle ID. Safe to run
+// concurrently over disjoint slices — it only reads pool and bundle
+// state, which no one mutates during the match stage.
+func (e *Engine) matchRange(doc score.Doc, cands []sumindex.Candidate) (*bundle.Bundle, float64) {
 	var best *bundle.Bundle
 	bestScore := e.cfg.BundleWeights.Threshold
 	for _, c := range cands {
@@ -277,6 +368,47 @@ func (e *Engine) matchBundle(doc score.Doc) *bundle.Bundle {
 		s := score.BundleSim(e.cfg.BundleWeights, doc, b)
 		if s > bestScore || (s == bestScore && best != nil && b.ID() < best.ID()) {
 			bestScore, best = s, b
+		}
+	}
+	return best, bestScore
+}
+
+// matchParallel splits the candidate list into contiguous chunks, runs
+// matchRange on each concurrently and reduces the per-chunk winners
+// under the same (score desc, ID asc) order the serial loop applies.
+func (e *Engine) matchParallel(doc score.Doc, cands []sumindex.Candidate, workers int) *bundle.Bundle {
+	type chunkBest struct {
+		b *bundle.Bundle
+		s float64
+	}
+	chunk := (len(cands) + workers - 1) / workers
+	results := make([]chunkBest, workers)
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		lo := k * chunk
+		if lo >= len(cands) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(cands) {
+			hi = len(cands)
+		}
+		wg.Add(1)
+		go func(k int, part []sumindex.Candidate) {
+			defer wg.Done()
+			b, s := e.matchRange(doc, part)
+			results[k] = chunkBest{b: b, s: s}
+		}(k, cands[lo:hi])
+	}
+	wg.Wait()
+	var best *bundle.Bundle
+	bestScore := e.cfg.BundleWeights.Threshold
+	for _, r := range results {
+		if r.b == nil {
+			continue
+		}
+		if r.s > bestScore || (r.s == bestScore && best != nil && r.b.ID() < best.ID()) {
+			bestScore, best = r.s, r.b
 		}
 	}
 	return best
@@ -298,6 +430,10 @@ func (e *Engine) InsertAll(src stream.Source) (int, error) {
 		n++
 	}
 }
+
+// Config returns the engine's configuration (read-only copy). The
+// pipeline helpers consult Parallel through it.
+func (e *Engine) Config() Config { return e.cfg }
 
 // Pool exposes the live bundle pool (read-only use by query/eval).
 func (e *Engine) Pool() *pool.Pool { return e.pool }
@@ -337,6 +473,7 @@ func (e *Engine) Snapshot() Stats {
 		MemBundles:       e.pool.MemBytes(),
 		MemIndex:         e.index.MemBytes(),
 		MessagesInMemory: e.pool.MessageCount(),
+		PrepareTime:      e.prepTimer.Total(),
 		MatchTime:        e.matchTimer.Total(),
 		PlaceTime:        e.placeTimer.Total(),
 		RefineTime:       e.refineTimer.Total(),

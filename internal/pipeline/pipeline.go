@@ -39,6 +39,12 @@ type Options struct {
 	// CheckpointPath is the checkpoint file; required when
 	// CheckpointEvery > 0.
 	CheckpointPath string
+	// Workers sets the number of concurrent prepare goroutines (keyword
+	// extraction) feeding the single apply writer. 0 defers to the
+	// engine's Parallel.Workers configuration; values <= 1 keep the
+	// fully serial writer. Bundle assignment is identical either way —
+	// the apply stage consumes prepared messages in submission order.
+	Workers int
 }
 
 // Service is a concurrent facade over a query.Processor. Create with
@@ -80,18 +86,53 @@ func (s *Service) Start() {
 
 func (s *Service) run() {
 	defer close(s.done)
-	for m := range s.in {
-		s.mu.Lock()
-		s.proc.Insert(m)
-		s.ingested++
-		n := s.ingested
-		s.mu.Unlock()
-		if s.opts.CheckpointEvery > 0 && n%s.opts.CheckpointEvery == 0 {
-			s.checkpoint()
+	workers := s.opts.Workers
+	if workers == 0 {
+		workers = s.proc.Engine().Config().Parallel.Workers
+	}
+	if workers > 1 {
+		s.runParallel(workers)
+	} else {
+		for m := range s.in {
+			s.apply(core.Prepare(m))
 		}
 	}
 	// Final checkpoint on drain, so Stop leaves durable state.
 	if s.opts.CheckpointEvery > 0 && s.ingested > 0 {
+		s.checkpoint()
+	}
+}
+
+// runParallel fans keyword extraction out over a PreparePool while this
+// goroutine stays the only writer: prepared messages are applied
+// strictly in submission order, so the resulting bundle state is
+// identical to the serial path.
+func (s *Service) runParallel(workers int) {
+	pool := NewPreparePool(workers, 0)
+	go func() {
+		for m := range s.in {
+			pool.Dispatch(m)
+		}
+		pool.Close()
+	}()
+	for {
+		p, ok := pool.Next()
+		if !ok {
+			return
+		}
+		s.apply(p)
+	}
+}
+
+// apply is the sequential half of ingest: mutate engine state under the
+// write lock and checkpoint on cadence.
+func (s *Service) apply(p core.Prepared) {
+	s.mu.Lock()
+	s.proc.InsertPrepared(p)
+	s.ingested++
+	n := s.ingested
+	s.mu.Unlock()
+	if s.opts.CheckpointEvery > 0 && n%s.opts.CheckpointEvery == 0 {
 		s.checkpoint()
 	}
 }

@@ -156,9 +156,21 @@ func TestCheckpointFailureSurfaced(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// The failure must latch and surface through Err() while the
+	// service is still running, not only at Stop.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Err() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("checkpoint failure not surfaced by Err before Stop")
+		}
+		time.Sleep(time.Millisecond)
+	}
 	err := s.Stop()
 	if err == nil {
 		t.Fatal("checkpoint failure not surfaced by Stop")
+	}
+	if !errors.Is(err, s.Err()) && err.Error() != s.Err().Error() {
+		t.Errorf("Stop error %v differs from latched Err %v", err, s.Err())
 	}
 }
 

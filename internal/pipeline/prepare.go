@@ -1,0 +1,168 @@
+package pipeline
+
+// Order-preserving parallel prepare: the pure half of Engine.Insert
+// (parse + keyword extraction, core.Prepare) fans out across a worker
+// pool while the sequential apply stage consumes results strictly in
+// submission order. The paper's Figure 13 shows the match stage
+// dominating ingest cost, but prepare is the one stage with no data
+// dependency between messages — so it is the one that parallelises
+// without touching bundle-assignment semantics at all.
+//
+// Ordering works through a channel of single-slot result channels: the
+// dispatcher reserves a slot in the order queue *before* handing the
+// job to a worker, so the consumer sees slots in dispatch order no
+// matter which worker finishes first. Slots are recycled through a
+// freelist, making the steady-state pool allocation-free. The freelist
+// also bounds in-flight work (backpressure): a Dispatch with no free
+// slot blocks until the consumer drains one.
+
+import (
+	"errors"
+	"io"
+	"sync"
+
+	"provex/internal/core"
+	"provex/internal/stream"
+	"provex/internal/tweet"
+)
+
+// PreparePool runs core.Prepare on a fixed worker set while preserving
+// dispatch order on the consumer side. One goroutine dispatches, one
+// consumes; the pool itself is not a multi-producer queue.
+type PreparePool struct {
+	jobs  chan prepJob
+	order chan chan core.Prepared
+	slots chan chan core.Prepared
+	wg    sync.WaitGroup
+}
+
+type prepJob struct {
+	m   *tweet.Message
+	out chan core.Prepared
+}
+
+// NewPreparePool starts workers prepare goroutines with the given
+// number of in-flight slots (depth <= 0 picks 4 per worker — enough to
+// keep workers busy across apply-stage jitter without hoarding
+// messages).
+func NewPreparePool(workers, depth int) *PreparePool {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth <= 0 {
+		depth = workers * 4
+	}
+	p := &PreparePool{
+		jobs:  make(chan prepJob, depth),
+		order: make(chan chan core.Prepared, depth),
+		slots: make(chan chan core.Prepared, depth),
+	}
+	for i := 0; i < depth; i++ {
+		p.slots <- make(chan core.Prepared, 1)
+	}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for j := range p.jobs {
+				j.out <- core.Prepare(j.m)
+			}
+		}()
+	}
+	return p
+}
+
+// Dispatch hands m to the worker pool, blocking while all in-flight
+// slots are taken (backpressure). Single-dispatcher only; must not be
+// called after Close.
+func (p *PreparePool) Dispatch(m *tweet.Message) {
+	slot := <-p.slots
+	// Reserve the ordering position before the job can race ahead.
+	p.order <- slot
+	p.jobs <- prepJob{m: m, out: slot}
+}
+
+// Close signals that no more messages will be dispatched. In-flight
+// work still drains through Next; the workers exit once done.
+func (p *PreparePool) Close() {
+	close(p.jobs)
+	close(p.order)
+}
+
+// Next returns prepared messages in exact dispatch order; ok is false
+// once the pool is closed and drained. Single-consumer only.
+func (p *PreparePool) Next() (core.Prepared, bool) {
+	slot, ok := <-p.order
+	if !ok {
+		p.wg.Wait()
+		return core.Prepared{}, false
+	}
+	prep := <-slot
+	p.slots <- slot
+	return prep, true
+}
+
+// PreparedSource adapts a stream.Source into an ordered stream of
+// prepared messages: a feeder goroutine pulls the source and keeps
+// `workers` prepare goroutines busy, while Next yields results in
+// stream order. A source error (including io.EOF) is surfaced by Next
+// only after every message dispatched before it has been yielded, so
+// callers never lose tail messages.
+type PreparedSource struct {
+	pool *PreparePool
+	err  error // written by the feeder before Close, read after drain
+}
+
+// NewPreparedSource starts the feeder. depth <= 0 picks the pool
+// default.
+func NewPreparedSource(src stream.Source, workers, depth int) *PreparedSource {
+	ps := &PreparedSource{pool: NewPreparePool(workers, depth)}
+	go func() {
+		for {
+			m, err := src.Next()
+			if err != nil {
+				ps.err = err
+				ps.pool.Close()
+				return
+			}
+			ps.pool.Dispatch(m)
+		}
+	}()
+	return ps
+}
+
+// Next returns the next prepared message in stream order, io.EOF after
+// the last one, or the source's error. Single-consumer only.
+func (ps *PreparedSource) Next() (core.Prepared, error) {
+	p, ok := ps.pool.Next()
+	if !ok {
+		// The pool.Next channel-close observation orders this read
+		// after the feeder's ps.err write.
+		return core.Prepared{}, ps.err
+	}
+	return p, nil
+}
+
+// IngestAll drains src through e, preparing messages on
+// e.Config().Parallel.Workers goroutines while applying strictly in
+// stream order. With Workers <= 1 it is exactly Engine.InsertAll.
+// Returns the number of messages ingested.
+func IngestAll(e *core.Engine, src stream.Source) (int, error) {
+	workers := e.Config().Parallel.Workers
+	if workers <= 1 {
+		return e.InsertAll(src)
+	}
+	ps := NewPreparedSource(src, workers, 0)
+	n := 0
+	for {
+		p, err := ps.Next()
+		if errors.Is(err, io.EOF) {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		e.InsertPrepared(p)
+		n++
+	}
+}

@@ -120,9 +120,23 @@ func (p *Processor) Archived() int {
 // Insert routes a message through the engine and mirrors it into the
 // baseline message index.
 func (p *Processor) Insert(m *tweet.Message) core.InsertResult {
-	res := p.eng.Insert(m)
+	return p.InsertPrepared(core.Prepare(m))
+}
+
+// InsertPrepared applies an already-prepared message (see core.Prepare),
+// reusing its keyword extraction for the baseline message index instead
+// of running the tokenizer a second time. This is the apply half the
+// parallel pipeline calls from its single writer goroutine.
+func (p *Processor) InsertPrepared(prep core.Prepared) core.InsertResult {
+	res := p.eng.InsertPrepared(prep)
 	if p.msgIndex != nil {
-		terms := append(tokenizer.Keywords(m.Text), m.Hashtags...)
+		m := prep.Doc.Msg
+		kws := prep.Doc.Keywords
+		// Fresh slice: appending to prep.Doc.Keywords would alias the
+		// engine-retained keyword set.
+		terms := make([]string, 0, len(kws)+len(m.Hashtags))
+		terms = append(terms, kws...)
+		terms = append(terms, m.Hashtags...)
 		p.msgIndex.Add(textindex.DocID(m.ID), terms)
 		p.messages[textindex.DocID(m.ID)] = m
 	}
@@ -199,8 +213,8 @@ func (p *Processor) SearchBundles(q string, k int) []BundleHit {
 	cands := make(map[bundle.ID]struct{})
 	for _, t := range terms {
 		for _, cls := range []sumindex.Class{sumindex.ClassKeyword, sumindex.ClassTag, sumindex.ClassURL} {
-			for id := range idx.Postings(cls, t) {
-				cands[bundle.ID(id)] = struct{}{}
+			for _, p := range idx.Postings(cls, t) {
+				cands[bundle.ID(p.ID)] = struct{}{}
 			}
 		}
 	}

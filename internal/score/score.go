@@ -13,6 +13,7 @@ package score
 import (
 	"time"
 
+	"provex/internal/tokenizer"
 	"provex/internal/tweet"
 )
 
@@ -53,6 +54,14 @@ func (c ConnectionType) String() string {
 type Doc struct {
 	Msg      *tweet.Message
 	Keywords []string
+}
+
+// NewDoc runs the keyword extraction pass for m and returns the Doc the
+// scoring functions consume. It is pure (no shared state beyond the
+// tokenizer's concurrency-safe intern table), which is what lets the
+// pipeline's prepare stage run it on many messages concurrently.
+func NewDoc(m *tweet.Message) Doc {
+	return Doc{Msg: m, Keywords: tokenizer.Keywords(m.Text)}
 }
 
 // overlap counts common elements of two small string slices. The slices

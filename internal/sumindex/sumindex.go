@@ -11,11 +11,21 @@
 //   - Observe/Forget: keep the postings in sync as messages join
 //     bundles and as the pool evicts bundles (Algorithm 1, step 3 and
 //     Algorithm 3's delete_index).
+//
+// Posting storage follows the slab policy of Asadi, Lin & Busch
+// ("Dynamic Memory Allocation Policies for Postings in Real-Time
+// Twitter Search"): each term's postings live in an ID-sorted slice
+// whose capacity grows through power-of-two size classes, and slabs
+// freed by Forget are recycled through per-class freelists instead of
+// being handed back to the garbage collector. Candidate fetch reuses
+// internal scratch buffers, so the steady-state ingest path allocates
+// only when a term's posting list genuinely outgrows its slab.
 package sumindex
 
 import (
 	"fmt"
-	"sort"
+	"math/bits"
+	"slices"
 	"strings"
 
 	"provex/internal/metrics"
@@ -57,10 +67,26 @@ func (c Class) String() string {
 // keeping sumindex reusable below it in the dependency order.
 type BundleID uint64
 
+// Posting is one entry of a term's posting list: a bundle carrying the
+// term and how many of its messages do.
+type Posting struct {
+	ID    BundleID
+	Count uint32
+}
+
+// slab size classes: capacities 2^1 .. 2^maxSlabClass are recycled;
+// larger lists (hyper-frequent terms) fall through to plain make.
+const (
+	maxSlabClass    = 10 // largest recycled capacity: 1024 postings
+	maxFreePerClass = 256
+)
+
 // Index is the summary index. Not safe for concurrent use; the engine
-// serialises ingest.
+// serialises ingest. Concurrent *readers* (the parallel match stage,
+// queries under the pipeline's read lock) are safe as long as no
+// Observe/Forget/Candidates call runs at the same time.
 type Index struct {
-	classes [numClasses]map[string]map[BundleID]uint32
+	classes [numClasses]map[string][]Posting
 	mem     metrics.MemEstimator
 	// enabled masks which classes participate in Candidates — the
 	// keyword class can be switched off for the ablation study.
@@ -71,6 +97,14 @@ type Index struct {
 	// signal — the textbook stop-posting cut. Postings are still fully
 	// maintained, so changing the cap never loses state.
 	maxFanout int
+
+	// slabs holds recycled posting slices by capacity class; slabs[k]
+	// stores slices of capacity 1<<k.
+	slabs [maxSlabClass + 1][][]Posting
+
+	// Candidate-fetch scratch, reused across calls (see Candidates).
+	hits    map[BundleID]int32
+	candBuf []Candidate
 }
 
 // New creates an empty summary index with every class enabled and no
@@ -78,7 +112,7 @@ type Index struct {
 func New() *Index {
 	ix := &Index{}
 	for c := range ix.classes {
-		ix.classes[c] = make(map[string]map[BundleID]uint32)
+		ix.classes[c] = make(map[string][]Posting)
 		ix.enabled[c] = true
 	}
 	return ix
@@ -109,17 +143,93 @@ func (ix *Index) Observe(id BundleID, doc score.Doc) {
 	ix.add(ClassUser, m.User, id)
 }
 
+// findPosting returns the insertion index of id in the ID-sorted list.
+func findPosting(pl []Posting, id BundleID) int {
+	lo, hi := 0, len(pl)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if pl[mid].ID < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
 func (ix *Index) add(c Class, term string, id BundleID) {
-	posting, ok := ix.classes[c][term]
+	class := ix.classes[c]
+	pl, ok := class[term]
 	if !ok {
-		posting = make(map[BundleID]uint32, 1)
-		ix.classes[c][term] = posting
-		ix.mem.Add(metrics.MapEntryCost + metrics.StringCost(term))
+		pl = append(ix.allocPostings(1), Posting{ID: id, Count: 1})
+		class[term] = pl
+		ix.mem.Add(metrics.MapEntryCost + metrics.StringCost(term) + metrics.PostingCost)
+		return
 	}
-	if posting[id] == 0 {
-		ix.mem.Add(metrics.PostingCost)
+	i := findPosting(pl, id)
+	if i < len(pl) && pl[i].ID == id {
+		pl[i].Count++
+		return
 	}
-	posting[id]++
+	// Insert at i. Bundle IDs mostly grow with the stream, so the
+	// common case is an append at the tail.
+	if len(pl) < cap(pl) {
+		pl = pl[:len(pl)+1]
+		copy(pl[i+1:], pl[i:len(pl)-1])
+		pl[i] = Posting{ID: id, Count: 1}
+	} else {
+		grown := ix.allocPostings(len(pl) + 1)[:len(pl)+1]
+		copy(grown, pl[:i])
+		copy(grown[i+1:], pl[i:])
+		grown[i] = Posting{ID: id, Count: 1}
+		ix.recycle(pl)
+		pl = grown
+	}
+	class[term] = pl
+	ix.mem.Add(metrics.PostingCost)
+}
+
+// allocPostings returns an empty posting slice with capacity for at
+// least n entries, reusing a recycled slab of the right size class when
+// one is free.
+func (ix *Index) allocPostings(n int) []Posting {
+	k := capClass(n)
+	if k <= maxSlabClass {
+		if fl := ix.slabs[k]; len(fl) > 0 {
+			pl := fl[len(fl)-1]
+			fl[len(fl)-1] = nil
+			ix.slabs[k] = fl[:len(fl)-1]
+			return pl
+		}
+		return make([]Posting, 0, 1<<k)
+	}
+	// Beyond the largest slab class, grow by 3/2 like append would —
+	// such lists belong to hyper-frequent terms and are rarely freed.
+	c := n + n/2
+	return make([]Posting, 0, c)
+}
+
+// capClass is the smallest k with 1<<k >= n (minimum 1: the smallest
+// slab holds two postings, since one-bundle terms dominate).
+func capClass(n int) int {
+	if n <= 2 {
+		return 1
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// recycle returns a posting slice's storage to its freelist. Only
+// exact power-of-two capacities up to the slab bound are kept.
+func (ix *Index) recycle(pl []Posting) {
+	c := cap(pl)
+	if c == 0 || c&(c-1) != 0 {
+		return
+	}
+	k := bits.TrailingZeros(uint(c))
+	if k > maxSlabClass || len(ix.slabs[k]) >= maxFreePerClass {
+		return
+	}
+	ix.slabs[k] = append(ix.slabs[k], pl[:0])
 }
 
 // Forget removes every posting of the bundle described by (tags, urls,
@@ -141,19 +251,25 @@ func (ix *Index) Forget(id BundleID, tags, urls, keys, users []string) {
 }
 
 func (ix *Index) drop(c Class, term string, id BundleID) {
-	posting, ok := ix.classes[c][term]
+	class := ix.classes[c]
+	pl, ok := class[term]
 	if !ok {
 		return
 	}
-	if _, ok := posting[id]; !ok {
+	i := findPosting(pl, id)
+	if i >= len(pl) || pl[i].ID != id {
 		return
 	}
-	delete(posting, id)
+	copy(pl[i:], pl[i+1:])
+	pl = pl[:len(pl)-1]
 	ix.mem.Sub(metrics.PostingCost)
-	if len(posting) == 0 {
-		delete(ix.classes[c], term)
+	if len(pl) == 0 {
+		delete(class, term)
+		ix.recycle(pl)
 		ix.mem.Sub(metrics.MapEntryCost + metrics.StringCost(term))
+		return
 	}
+	class[term] = pl
 }
 
 // Candidate is one bundle surfaced by the summary index with the number
@@ -168,21 +284,30 @@ type Candidate struct {
 // posting list. The result is ordered by descending hit count, then
 // ascending bundle ID, so callers can cap scoring work at the most
 // promising candidates.
+//
+// The returned slice is internal scratch, valid only until the next
+// Candidates call on this index — the ingest loop consumes it within
+// one Algorithm 1 step, which is what makes candidate fetch
+// allocation-free at steady state.
 func (ix *Index) Candidates(doc score.Doc) []Candidate {
-	m := doc.Msg
-	hits := make(map[BundleID]int)
+	if ix.hits == nil {
+		ix.hits = make(map[BundleID]int32, 256)
+	}
+	hits := ix.hits
+	clear(hits)
 	collect := func(c Class, term string) {
 		if !ix.enabled[c] {
 			return
 		}
-		posting := ix.classes[c][term]
-		if ix.maxFanout > 0 && len(posting) > ix.maxFanout {
+		pl := ix.classes[c][term]
+		if ix.maxFanout > 0 && len(pl) > ix.maxFanout {
 			return
 		}
-		for id := range posting {
-			hits[id]++
+		for _, p := range pl {
+			hits[p.ID]++
 		}
 	}
+	m := doc.Msg
 	for _, h := range m.Hashtags {
 		collect(ClassTag, h)
 	}
@@ -198,24 +323,44 @@ func (ix *Index) Candidates(doc score.Doc) []Candidate {
 	if len(hits) == 0 {
 		return nil
 	}
-	out := make([]Candidate, 0, len(hits))
+	out := ix.candBuf[:0]
 	for id, n := range hits {
-		out = append(out, Candidate{ID: id, Hits: n})
+		out = append(out, Candidate{ID: id, Hits: int(n)})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Hits != out[j].Hits {
-			return out[i].Hits > out[j].Hits
+	slices.SortFunc(out, func(a, b Candidate) int {
+		if a.Hits != b.Hits {
+			return b.Hits - a.Hits
 		}
-		return out[i].ID < out[j].ID
+		switch {
+		case a.ID < b.ID:
+			return -1
+		case a.ID > b.ID:
+			return 1
+		default:
+			return 0
+		}
 	})
+	ix.candBuf = out
 	return out
 }
 
-// Postings returns the bundles carrying term in class c, with counts.
-// Query support uses it for the i(q,B) indicant-closeness factor of
-// Eq. 7.
-func (ix *Index) Postings(c Class, term string) map[BundleID]uint32 {
+// Postings returns the posting list of term in class c, ordered by
+// ascending bundle ID. The slice is the index's internal storage:
+// callers must treat it as read-only and must not retain it across
+// index mutations. Query support uses it for the i(q,B)
+// indicant-closeness factor of Eq. 7.
+func (ix *Index) Postings(c Class, term string) []Posting {
 	return ix.classes[c][term]
+}
+
+// PostingCount returns term's occurrence count inside bundle id, 0 when
+// the bundle does not carry the term.
+func (ix *Index) PostingCount(c Class, term string, id BundleID) uint32 {
+	pl := ix.classes[c][term]
+	if i := findPosting(pl, id); i < len(pl) && pl[i].ID == id {
+		return pl[i].Count
+	}
+	return 0
 }
 
 // Terms returns the number of distinct terms in class c.

@@ -120,22 +120,82 @@ func Stem(tok string) string {
 // Keywords returns the deduplicated, stemmed, stopword-filtered keyword
 // set of text, in first-occurrence order. This is the "text" indicant of
 // Table II and the keywords class of the summary index.
+//
+// Keywords sits on the ingest hot path (once per message, inside the
+// prepare stage), so it scans text in a single pass — no intermediate
+// token slice, no seen-map — and returns interned strings: the only
+// steady-state allocation is the result slice itself. Safe for
+// concurrent use.
 func Keywords(text string) []string {
-	toks := Tokenize(text)
 	var out []string
-	seen := make(map[string]bool, len(toks))
-	for _, tok := range toks {
-		if len(tok) < MinTokenLen || IsStopword(tok) || isNumeric(tok) {
+	i := 0
+	for i < len(text) {
+		// Skip URLs wholesale, as Tokenize does.
+		if hasURLPrefix(text[i:]) {
+			for i < len(text) && !unicode.IsSpace(rune(text[i])) {
+				i++
+			}
 			continue
 		}
-		tok = Stem(tok)
-		if len(tok) < MinTokenLen || seen[tok] {
+		if !isWordRune(rune(text[i])) {
+			i++
 			continue
 		}
-		seen[tok] = true
-		out = append(out, tok)
+		start := i
+		hasUpper := false
+		for i < len(text) && isWordRune(rune(text[i])) {
+			if 'A' <= text[i] && text[i] <= 'Z' {
+				hasUpper = true
+			}
+			i++
+		}
+		if i-start < MinTokenLen {
+			continue
+		}
+		tok := text[start:i]
+		if hasUpper {
+			tok = internLower(tok)
+		}
+		if IsStopword(tok) || isNumeric(tok) {
+			continue
+		}
+		tok = Intern(Stem(tok))
+		// Keyword sets of 140-character messages hold a handful of
+		// entries; the linear dedup scan beats allocating a map.
+		dup := false
+		for _, k := range out {
+			if k == tok {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			if out == nil {
+				out = make([]string, 0, 8)
+			}
+			out = append(out, tok)
+		}
 	}
 	return out
+}
+
+// internLower lower-cases tok (pure ASCII by construction: isWordRune
+// admits only [A-Za-z0-9_']) into a stack buffer and resolves it
+// through the intern table without allocating on the hit path.
+func internLower(tok string) string {
+	var buf [64]byte
+	if len(tok) > len(buf) {
+		return Intern(strings.ToLower(tok))
+	}
+	b := buf[:len(tok)]
+	for j := 0; j < len(tok); j++ {
+		c := tok[j]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		b[j] = c
+	}
+	return internBytes(b)
 }
 
 func isNumeric(s string) bool {
