@@ -17,4 +17,16 @@ go test ./...
 echo "== go test -race =="
 go test -race ./...
 
+# Durability-critical packages once more, uncached: the fault-injection
+# and WAL tests are the crash-safety gate and must not ride a stale
+# test cache.
+echo "== durability (-race -count=1) =="
+go test -race -count=1 ./internal/fsx ./internal/wal ./internal/storage
+
+# Crash torture: randomized fault points, crash, recover, compare
+# against an uninterrupted run. Seeds are fixed; a failure prints the
+# seed in the subtest name for exact reproduction.
+echo "== crash torture =="
+go test -count=1 -run TestCrashTorture -v ./internal/pipeline | grep -E 'seed|PASS|FAIL|ok '
+
 echo "CI OK"

@@ -9,10 +9,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"provex/internal/core"
@@ -91,9 +94,22 @@ func main() {
 		next = ps.Next
 	}
 
+	// SIGINT/SIGTERM break the loop gracefully: the current message
+	// finishes, parked flushes drain, the store closes cleanly, and the
+	// statistics for everything ingested so far still print.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	start := time.Now()
 	n := 0
+loop:
 	for {
+		select {
+		case <-ctx.Done():
+			fmt.Fprintf(os.Stderr, "provingest: interrupted after %d messages — draining\n", n)
+			break loop
+		default:
+		}
 		p, err := next()
 		if err == io.EOF {
 			break
@@ -107,6 +123,16 @@ func main() {
 			st := eng.Snapshot()
 			fmt.Fprintf(os.Stderr, "provingest: %d messages, %d live bundles, %.1f MB est., %.1fs\n",
 				n, st.BundlesLive, float64(st.MemTotal())/(1<<20), time.Since(start).Seconds())
+		}
+	}
+	if store != nil {
+		// Re-attempt any parked flushes and make the store durable
+		// before reporting; a still-failing disk is a hard error.
+		if err := eng.DrainFlushRetries(); err != nil {
+			fail("flush drain: %v", err)
+		}
+		if err := store.Sync(); err != nil {
+			fail("store sync: %v", err)
 		}
 	}
 	if err := eng.Err(); err != nil {

@@ -12,11 +12,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"io/fs"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"provex/internal/core"
@@ -35,34 +40,32 @@ func main() {
 		addr   = flag.String("addr", ":8080", "listen address")
 		follow = flag.Bool("follow", false, "keep ingesting from the input while serving (live mode)")
 		ckpt   = flag.String("ckpt", "", "checkpoint path: resume from it when present, keep it updated while running")
+		walDir = flag.String("wal", "", "write-ahead log directory (live mode, requires -ckpt): crash-safe ingest — acknowledged messages survive a kill")
 	)
 	flag.Parse()
 
-	proc := buildProcessor(*ckpt)
-
 	src := openSource(*in, *n, *seed, *follow)
 	if *follow {
-		serveLive(proc, src, *addr, *ckpt)
+		serveLive(src, *addr, *ckpt, *walDir)
 		return
 	}
 
 	// Build-then-serve: ingest everything, then answer queries
 	// single-threaded through the processor.
+	proc := buildProcessor(*ckpt)
 	start := time.Now()
 	count := ingestAll(proc, src)
 	st := proc.Snapshot()
 	fmt.Fprintf(os.Stderr, "provserve: indexed %d messages into %d bundles in %.1fs\n",
 		count, st.BundlesLive, time.Since(start).Seconds())
 	if *ckpt != "" {
-		if err := saveCheckpoint(proc.Engine(), *ckpt); err != nil {
+		if err := proc.Engine().SaveCheckpoint(nil, *ckpt); err != nil {
 			fail("checkpoint: %v", err)
 		}
 		fmt.Fprintf(os.Stderr, "provserve: checkpoint written to %s\n", *ckpt)
 	}
 	fmt.Fprintf(os.Stderr, "provserve: listening on %s — try /prov?q=tsunami+samoa\n", *addr)
-	if err := http.ListenAndServe(*addr, server.New(proc)); err != nil {
-		fail("serve: %v", err)
-	}
+	serveHTTP(*addr, server.New(proc), nil)
 }
 
 // buildProcessor restores from a checkpoint when one exists, otherwise
@@ -70,12 +73,13 @@ func main() {
 func buildProcessor(ckpt string) *query.Processor {
 	cfg := core.FullIndexConfig()
 	if ckpt != "" {
-		if f, err := os.Open(ckpt); err == nil {
-			defer f.Close()
-			eng, err := core.RestoreCheckpoint(cfg, nil, nil, f)
-			if err != nil {
-				fail("restore %s: %v", ckpt, err)
-			}
+		eng, err := core.LoadCheckpoint(cfg, nil, nil, nil, ckpt)
+		switch {
+		case errors.Is(err, fs.ErrNotExist):
+			// Fresh start; the checkpoint will be created on save.
+		case err != nil:
+			fail("restore %s: %v", ckpt, err)
+		default:
 			st := eng.Snapshot()
 			fmt.Fprintf(os.Stderr, "provserve: resumed from %s (%d messages, %d bundles)\n",
 				ckpt, st.Messages, st.BundlesLive)
@@ -86,6 +90,39 @@ func buildProcessor(ckpt string) *query.Processor {
 		}
 	}
 	return query.New(core.New(cfg, nil, nil), query.DefaultOptions())
+}
+
+// serveHTTP runs a configured http.Server until it fails or a
+// SIGINT/SIGTERM arrives, then drains in-flight requests and calls
+// onShutdown (ingest drain + final checkpoint in live mode).
+func serveHTTP(addr string, h http.Handler, onShutdown func()) {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fail("serve: %v", err)
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "provserve: %v — draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "provserve: http shutdown: %v\n", err)
+		}
+		if onShutdown != nil {
+			onShutdown()
+		}
+		fmt.Fprintln(os.Stderr, "provserve: clean exit")
+	}
 }
 
 func openSource(in string, n int, seed int64, follow bool) stream.Source {
@@ -128,11 +165,40 @@ func ingestAll(proc *query.Processor, src stream.Source) int {
 
 // serveLive runs the concurrent pipeline: ingest from src in the
 // background while the HTTP server answers queries against live state.
-func serveLive(proc *query.Processor, src stream.Source, addr, ckpt string) {
+// With both -ckpt and -wal the ingest path is crash-safe: every
+// message is WAL-appended before it is applied, and a kill at any
+// point recovers to checkpoint + WAL replay on the next start.
+func serveLive(src stream.Source, addr, ckpt, walDir string) {
+	cfg := core.FullIndexConfig()
 	opts := pipeline.Options{}
-	if ckpt != "" {
+	var proc *query.Processor
+	var dur *pipeline.Durable
+	switch {
+	case walDir != "" && ckpt == "":
+		fail("-wal requires -ckpt")
+	case walDir != "":
+		var err error
+		dur, err = pipeline.OpenDurable(cfg, nil, nil, pipeline.DurableOptions{
+			CheckpointPath: ckpt,
+			WALDir:         walDir,
+			WALSyncEvery:   64,
+		})
+		if err != nil {
+			fail("durable open: %v", err)
+		}
+		if st := dur.Engine().Snapshot(); st.Messages > 0 {
+			fmt.Fprintf(os.Stderr, "provserve: recovered %d messages (%d replayed from WAL)\n",
+				st.Messages, dur.Replayed())
+		}
+		proc = query.New(dur.Engine(), query.DefaultOptions())
+		opts.Durable = dur
 		opts.CheckpointEvery = 50_000
-		opts.CheckpointPath = ckpt
+	default:
+		proc = buildProcessor(ckpt)
+		if ckpt != "" {
+			opts.CheckpointEvery = 50_000
+			opts.CheckpointPath = ckpt
+		}
 	}
 	svc := pipeline.New(proc, opts)
 	svc.Start()
@@ -151,6 +217,9 @@ func serveLive(proc *query.Processor, src stream.Source, addr, ckpt string) {
 				fail("read: %v", err)
 			}
 			if err := svc.Submit(m); err != nil {
+				if errors.Is(err, pipeline.ErrClosed) {
+					return // shutdown raced the feed; drop the rest
+				}
 				fail("submit: %v", err)
 			}
 		}
@@ -165,27 +234,18 @@ func serveLive(proc *query.Processor, src stream.Source, addr, ckpt string) {
 	}()
 
 	fmt.Fprintf(os.Stderr, "provserve: live mode on %s\n", addr)
-	if err := http.ListenAndServe(addr, server.New(svc)); err != nil {
-		fail("serve: %v", err)
-	}
-}
-
-func saveCheckpoint(eng *core.Engine, path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := eng.WriteCheckpoint(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
+	serveHTTP(addr, server.New(svc), func() {
+		// Stop drains the ingest queue and writes the final checkpoint
+		// (which also truncates the WAL in durable mode).
+		if err := svc.Stop(); err != nil {
+			fmt.Fprintf(os.Stderr, "provserve: pipeline: %v\n", err)
+		}
+		if dur != nil {
+			if err := dur.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "provserve: wal close: %v\n", err)
+			}
+		}
+	})
 }
 
 func fail(format string, args ...interface{}) {

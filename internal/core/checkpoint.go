@@ -8,16 +8,23 @@ package core
 // is rebuilt on restore, which keeps checkpoints small and immune to
 // index-format drift.
 //
-// Format (little-endian, varint-coded):
+// Format v2 (little-endian, varint-coded):
 //
 //	magic "PROVCKP1"
-//	version byte
+//	version byte (2)
 //	clock unix-nanos (varint)
 //	engine counters: messages, edges, conn counts [5]
 //	pool counters: nextID, created, refines, deletedTiny,
-//	               flushedClosed, flushedRanked
-//	bundle count, then per bundle: payload length, CRC32C, payload
-//	  (bundle.Marshal)
+//	               flushedClosed, flushedRanked, inserts, live count
+//	flush counters: retries, dropped
+//	per live bundle: payload length, CRC32C, payload (bundle.Marshal)
+//	parked count, then per parked flush-retry entry: attempts,
+//	  payload length, CRC32C, payload
+//
+// The parked section exists so degraded mode survives a restart: a
+// bundle evicted from the pool whose flush failed lives only in the
+// retry queue, and the WAL that could rebuild it is truncated right
+// after a checkpoint — so the checkpoint must carry it.
 
 import (
 	"bufio"
@@ -26,9 +33,11 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"io/fs"
 	"time"
 
 	"provex/internal/bundle"
+	"provex/internal/fsx"
 	"provex/internal/pool"
 	"provex/internal/storage"
 	"provex/internal/sumindex"
@@ -36,7 +45,11 @@ import (
 
 var ckptMagic = [8]byte{'P', 'R', 'O', 'V', 'C', 'K', 'P', '1'}
 
-const ckptVersion = 1
+const ckptVersion = 2
+
+// maxCkptRecord caps one serialised bundle so a corrupt length field
+// cannot drive an absurd allocation during restore.
+const maxCkptRecord = 64 << 20
 
 // ErrBadCheckpoint reports an unreadable or corrupt checkpoint stream.
 var ErrBadCheckpoint = errors.New("core: bad checkpoint")
@@ -69,8 +82,21 @@ func (e *Engine) WriteCheckpoint(w io.Writer) error {
 	hdr = binary.AppendUvarint(hdr, uint64(ps.FlushedRanked))
 	hdr = binary.AppendUvarint(hdr, uint64(e.pool.Inserts()))
 	hdr = binary.AppendUvarint(hdr, uint64(e.pool.Len()))
+	hdr = binary.AppendUvarint(hdr, uint64(e.flushRetries.Value()))
+	hdr = binary.AppendUvarint(hdr, uint64(e.flushDropped.Value()))
 	if _, err := bw.Write(hdr); err != nil {
 		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+
+	writeRec := func(payload []byte) error {
+		var rec []byte
+		rec = binary.AppendUvarint(rec, uint64(len(payload)))
+		rec = binary.AppendUvarint(rec, uint64(crc32.Checksum(payload, ckptCRC)))
+		if _, err := bw.Write(rec); err != nil {
+			return err
+		}
+		_, err := bw.Write(payload)
+		return err
 	}
 
 	var werr error
@@ -78,21 +104,30 @@ func (e *Engine) WriteCheckpoint(w io.Writer) error {
 		if werr != nil {
 			return
 		}
-		payload := b.Marshal()
-		var rec []byte
-		rec = binary.AppendUvarint(rec, uint64(len(payload)))
-		rec = binary.AppendUvarint(rec, uint64(crc32.Checksum(payload, ckptCRC)))
-		if _, err := bw.Write(rec); err != nil {
-			werr = err
-			return
-		}
-		if _, err := bw.Write(payload); err != nil {
-			werr = err
-		}
+		werr = writeRec(b.Marshal())
 	})
 	if werr != nil {
 		return fmt.Errorf("core: checkpoint: %w", werr)
 	}
+
+	// Parked flush-retry entries: bundles already evicted from the pool
+	// that still await a successful flush.
+	var parked []byte
+	parked = binary.AppendUvarint(parked, uint64(len(e.retryq)))
+	if _, err := bw.Write(parked); err != nil {
+		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	for _, r := range e.retryq {
+		var att []byte
+		att = binary.AppendUvarint(att, uint64(r.attempts))
+		if _, err := bw.Write(att); err != nil {
+			return fmt.Errorf("core: checkpoint: %w", err)
+		}
+		if err := writeRec(r.b.Marshal()); err != nil {
+			return fmt.Errorf("core: checkpoint: %w", err)
+		}
+	}
+
 	if err := bw.Flush(); err != nil {
 		return fmt.Errorf("core: checkpoint: %w", err)
 	}
@@ -144,6 +179,8 @@ func RestoreCheckpoint(cfg Config, store *storage.Store, onEdge EdgeFunc, r io.R
 	flushedRanked := readU()
 	inserts := readU()
 	bundleCount := readU()
+	flushRetries := readU()
+	flushDropped := readU()
 	if err != nil {
 		return nil, fmt.Errorf("%w: truncated header", ErrBadCheckpoint)
 	}
@@ -163,26 +200,39 @@ func RestoreCheckpoint(cfg Config, store *storage.Store, onEdge EdgeFunc, r io.R
 		FlushedRanked: int64(flushedRanked),
 	})
 	e.pool.SetInserts(int(inserts))
+	e.flushRetries.Add(int64(flushRetries))
+	e.flushDropped.Add(int64(flushDropped))
 
-	for i := uint64(0); i < bundleCount; i++ {
+	readRec := func(what string, i uint64) (*bundle.Bundle, error) {
 		length, err := binary.ReadUvarint(br)
 		if err != nil {
-			return nil, fmt.Errorf("%w: truncated at bundle %d", ErrBadCheckpoint, i)
+			return nil, fmt.Errorf("%w: truncated at %s %d", ErrBadCheckpoint, what, i)
+		}
+		if length > maxCkptRecord {
+			return nil, fmt.Errorf("%w: %s %d: absurd length %d", ErrBadCheckpoint, what, i, length)
 		}
 		wantCRC, err := binary.ReadUvarint(br)
 		if err != nil {
-			return nil, fmt.Errorf("%w: truncated at bundle %d", ErrBadCheckpoint, i)
+			return nil, fmt.Errorf("%w: truncated at %s %d", ErrBadCheckpoint, what, i)
 		}
 		payload := make([]byte, length)
 		if _, err := io.ReadFull(br, payload); err != nil {
-			return nil, fmt.Errorf("%w: truncated at bundle %d", ErrBadCheckpoint, i)
+			return nil, fmt.Errorf("%w: truncated at %s %d", ErrBadCheckpoint, what, i)
 		}
 		if crc32.Checksum(payload, ckptCRC) != uint32(wantCRC) {
-			return nil, fmt.Errorf("%w: checksum mismatch at bundle %d", ErrBadCheckpoint, i)
+			return nil, fmt.Errorf("%w: checksum mismatch at %s %d", ErrBadCheckpoint, what, i)
 		}
 		b, err := bundle.Unmarshal(payload)
 		if err != nil {
-			return nil, fmt.Errorf("%w: bundle %d: %v", ErrBadCheckpoint, i, err)
+			return nil, fmt.Errorf("%w: %s %d: %v", ErrBadCheckpoint, what, i, err)
+		}
+		return b, nil
+	}
+
+	for i := uint64(0); i < bundleCount; i++ {
+		b, err := readRec("bundle", i)
+		if err != nil {
+			return nil, err
 		}
 		e.pool.Adopt(b)
 		// Rebuild summary-index postings from the bundle's messages.
@@ -191,9 +241,77 @@ func RestoreCheckpoint(cfg Config, store *storage.Store, onEdge EdgeFunc, r io.R
 		}
 	}
 	e.pool.SetNextID(bundle.ID(nextID))
+
+	// Parked flush-retry entries: re-queued as immediately due. They were
+	// already Forgotten from the summary index when first evicted, so
+	// they rejoin the retry queue only — not the pool or index.
+	parkedCount, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: truncated parked section", ErrBadCheckpoint)
+	}
+	for i := uint64(0); i < parkedCount; i++ {
+		attempts, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: truncated at parked %d", ErrBadCheckpoint, i)
+		}
+		b, err := readRec("parked", i)
+		if err != nil {
+			return nil, err
+		}
+		e.retryq = append(e.retryq, flushRetry{b: b, attempts: int(attempts)})
+	}
+
 	// Detect trailing garbage (an appended or doubled checkpoint).
 	if _, err := br.ReadByte(); err != io.EOF {
 		return nil, fmt.Errorf("%w: trailing data", ErrBadCheckpoint)
 	}
 	return e, nil
+}
+
+// SaveCheckpoint atomically writes the engine's checkpoint to path on
+// fsys: the stream goes to a temporary sibling first, is fsynced, and
+// is renamed over path, so a crash at any point leaves either the old
+// checkpoint or the new one — never a torn hybrid.
+func (e *Engine) SaveCheckpoint(fsys fsx.FS, path string) error {
+	fsys = fsx.Default(fsys)
+	tmp := path + ".tmp"
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	if err := e.WriteCheckpoint(f); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(tmp)
+		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint restores an engine from the checkpoint file at path on
+// fsys. A missing file is reported as-is (test with errors.Is against
+// io/fs.ErrNotExist) so callers can fall back to a fresh engine.
+func LoadCheckpoint(cfg Config, store *storage.Store, onEdge EdgeFunc, fsys fsx.FS, path string) (*Engine, error) {
+	fsys = fsx.Default(fsys)
+	f, err := fsys.Open(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("core: checkpoint: %w", err)
+	}
+	defer f.Close()
+	return RestoreCheckpoint(cfg, store, onEdge, f)
 }

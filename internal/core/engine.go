@@ -59,7 +59,34 @@ type Config struct {
 	// value keeps every stage serial — the paper's original
 	// single-threaded loop.
 	Parallel ParallelOptions
+
+	// FlushRetry bounds the degraded mode entered when the disk
+	// back-end errors: failed bundle flushes are parked and retried
+	// instead of dropped.
+	FlushRetry FlushRetryOptions
 }
+
+// FlushRetryOptions bound the flush retry queue. A bundle whose flush
+// to the disk back-end fails is parked and re-attempted on later
+// refinement ticks with exponential backoff; only when MaxAttempts is
+// exhausted (or the queue overflows) is it dropped — and that loss is
+// counted and latched as the engine's background error.
+type FlushRetryOptions struct {
+	// MaxAttempts is the number of Put attempts per bundle before it is
+	// dropped; 0 means DefaultFlushMaxAttempts. Set very high to never
+	// give up while memory allows.
+	MaxAttempts int
+	// MaxQueue caps parked bundles; beyond it the oldest is dropped
+	// (bounded memory in degraded mode). 0 means DefaultFlushMaxQueue.
+	MaxQueue int
+}
+
+// Flush retry defaults: 8 attempts spaced exponentially over refine
+// ticks, at most 1024 parked bundles.
+const (
+	DefaultFlushMaxAttempts = 8
+	DefaultFlushMaxQueue    = 1024
+)
 
 // ParallelOptions sizes the concurrent parts of the ingest pipeline.
 // Both stages preserve the exact serial semantics: prepare results are
@@ -162,8 +189,20 @@ type Stats struct {
 	PlaceTime   time.Duration
 	RefineTime  time.Duration
 
+	// Flush durability counters: retry attempts after a failed flush,
+	// bundles permanently dropped (data loss, also latched by Err), and
+	// bundles currently parked awaiting retry (non-zero = the engine is
+	// in degraded mode).
+	FlushRetries int64
+	FlushDropped int64
+	FlushParked  int
+
 	Pool pool.Stats
 }
+
+// Degraded reports whether the engine is operating in degraded mode:
+// bundles are parked awaiting a storage retry, or have been lost.
+func (s Stats) Degraded() bool { return s.FlushParked > 0 || s.FlushDropped > 0 }
 
 // MemTotal is the full in-memory footprint estimate — Figure 11(a)'s
 // metric.
@@ -194,11 +233,25 @@ type Engine struct {
 	edges      metrics.Counter
 	connCounts [5]metrics.Counter
 
-	flushErr error // first storage failure, surfaced by Err
+	flushErr error // first permanent storage loss, surfaced by Err
+
+	// Flush retry queue: bundles whose Put to the disk back-end failed,
+	// parked for re-attempts on later refinement ticks (see evict).
+	retryq       []flushRetry
+	flushTick    int64
+	flushRetries metrics.Counter
+	flushDropped metrics.Counter
 
 	// onFlush observes each bundle successfully persisted to the disk
 	// back-end (archive indexing). Nil when unused.
 	onFlush func(*bundle.Bundle)
+}
+
+// flushRetry is one parked bundle awaiting a storage retry.
+type flushRetry struct {
+	b        *bundle.Bundle
+	attempts int   // failed Put attempts so far
+	due      int64 // flushTick at which the next attempt runs
 }
 
 // New builds an engine. store may be nil (flushed bundles are then
@@ -220,7 +273,11 @@ func (e *Engine) SetKeywordClass(on bool) {
 }
 
 // evict is the pool's eviction hook: drop the bundle's postings from
-// the summary index and persist flushed bundles to the back-end.
+// the summary index and persist flushed bundles to the back-end. A
+// failed Put does not lose the bundle — it is parked in the flush
+// retry queue and re-attempted on later refinement ticks (degraded
+// mode); only exhausting FlushRetryOptions drops it, counted and
+// latched as the engine's background error.
 func (e *Engine) evict(b *bundle.Bundle, _ pool.EvictReason, flush bool) {
 	tags, urls, keys := b.Indicants()
 	users := make([]string, 0, 8)
@@ -235,9 +292,7 @@ func (e *Engine) evict(b *bundle.Bundle, _ pool.EvictReason, flush bool) {
 	e.index.Forget(sumindex.BundleID(b.ID()), tags, urls, keys, users)
 	if flush && e.store != nil {
 		if err := e.store.Put(b); err != nil {
-			if e.flushErr == nil {
-				e.flushErr = fmt.Errorf("core: flush bundle %d: %w", b.ID(), err)
-			}
+			e.park(b, err)
 			return
 		}
 		if e.onFlush != nil {
@@ -246,13 +301,88 @@ func (e *Engine) evict(b *bundle.Bundle, _ pool.EvictReason, flush bool) {
 	}
 }
 
+// park enqueues a bundle whose flush failed, evicting the oldest entry
+// if the queue is at capacity (bounded memory in degraded mode).
+func (e *Engine) park(b *bundle.Bundle, cause error) {
+	maxQueue := e.cfg.FlushRetry.MaxQueue
+	if maxQueue <= 0 {
+		maxQueue = DefaultFlushMaxQueue
+	}
+	for len(e.retryq) >= maxQueue {
+		e.drop(e.retryq[0].b, fmt.Errorf("retry queue full (cause: %w)", cause))
+		e.retryq = e.retryq[1:]
+	}
+	e.retryq = append(e.retryq, flushRetry{b: b, attempts: 1, due: e.flushTick + 1})
+}
+
+// drop records the permanent loss of a bundle that could not be
+// flushed: counted, and latched as the engine's background error.
+func (e *Engine) drop(b *bundle.Bundle, cause error) {
+	e.flushDropped.Inc()
+	if e.flushErr == nil {
+		e.flushErr = fmt.Errorf("core: flush bundle %d dropped: %w", b.ID(), cause)
+	}
+}
+
+// processRetries re-attempts parked flushes. When force is set, backoff
+// schedules are ignored and every parked bundle is tried once (drain
+// before checkpoint/shutdown); otherwise only entries due at the
+// current flush tick run, with exponential backoff between attempts.
+func (e *Engine) processRetries(force bool) {
+	if len(e.retryq) == 0 || e.store == nil {
+		return
+	}
+	maxAttempts := e.cfg.FlushRetry.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = DefaultFlushMaxAttempts
+	}
+	keep := e.retryq[:0]
+	for _, r := range e.retryq {
+		if !force && r.due > e.flushTick {
+			keep = append(keep, r)
+			continue
+		}
+		e.flushRetries.Inc()
+		err := e.store.Put(r.b)
+		if err == nil {
+			if e.onFlush != nil {
+				e.onFlush(r.b)
+			}
+			continue
+		}
+		r.attempts++
+		if r.attempts > maxAttempts {
+			e.drop(r.b, err)
+			continue
+		}
+		// Exponential backoff in refinement ticks, capped at 64.
+		backoff := int64(1) << min(r.attempts, 6)
+		r.due = e.flushTick + backoff
+		keep = append(keep, r)
+	}
+	e.retryq = keep
+}
+
+// DrainFlushRetries attempts every parked flush immediately, returning
+// an error when bundles remain parked (the store is still failing).
+// The durability layer calls it before checkpoints and on shutdown.
+func (e *Engine) DrainFlushRetries() error {
+	e.processRetries(true)
+	if n := len(e.retryq); n > 0 {
+		return fmt.Errorf("core: %d bundles still parked for flush retry", n)
+	}
+	return e.flushErr
+}
+
 // SetFlushObserver registers a hook invoked after each bundle is
 // persisted to the disk back-end. The query module's archive index
 // subscribes here. Must be set before ingest starts.
 func (e *Engine) SetFlushObserver(fn func(*bundle.Bundle)) { e.onFlush = fn }
 
-// Err returns the first background failure (storage flush), nil when
-// healthy.
+// Err returns the first permanent background failure (a bundle lost
+// after exhausting flush retries), nil when healthy. Transient storage
+// failures do not latch here — they park bundles in the retry queue,
+// visible as Stats.FlushParked.
 func (e *Engine) Err() error { return e.flushErr }
 
 // Prepared is the output of the pure precompute stage of Algorithm 1:
@@ -321,11 +451,14 @@ func (e *Engine) InsertPrepared(p Prepared) InsertResult {
 	// Step 3: update the summary index with the new message's indicants.
 	e.index.Observe(sumindex.BundleID(chosen.ID()), doc)
 
-	// Periodic maintenance (Section V-B).
+	// Periodic maintenance (Section V-B), plus the flush retry queue:
+	// parked bundles re-attempt storage on the same cadence.
 	if e.pool.NoteInsert(chosen) {
 		e.refineTimer.Time(func() {
 			e.pool.MaybeRefine(e.clock.Now())
 		})
+		e.flushTick++
+		e.processRetries(false)
 	}
 	return res
 }
@@ -477,6 +610,9 @@ func (e *Engine) Snapshot() Stats {
 		MatchTime:        e.matchTimer.Total(),
 		PlaceTime:        e.placeTimer.Total(),
 		RefineTime:       e.refineTimer.Total(),
+		FlushRetries:     e.flushRetries.Value(),
+		FlushDropped:     e.flushDropped.Value(),
+		FlushParked:      len(e.retryq),
 		Pool:             e.pool.Stats(),
 	}
 }

@@ -15,7 +15,6 @@ package pipeline
 import (
 	"errors"
 	"fmt"
-	"os"
 	"sync"
 
 	"provex/internal/bundle"
@@ -45,6 +44,14 @@ type Options struct {
 	// fully serial writer. Bundle assignment is identical either way —
 	// the apply stage consumes prepared messages in submission order.
 	Workers int
+	// Durable, when set, switches the service to crash-safe ingest:
+	// every message is WAL-appended before it is applied, and
+	// checkpoints (on the CheckpointEvery cadence and at Stop) go
+	// through Durable.Checkpoint — drain parked flushes, sync the
+	// store, atomic checkpoint, truncate the WAL. The Durable must wrap
+	// the same engine the service's processor does; CheckpointPath is
+	// ignored (Durable carries its own).
+	Durable *Durable
 }
 
 // Service is a concurrent facade over a query.Processor. Create with
@@ -64,6 +71,7 @@ type Service struct {
 	ingested  int
 	ckptErr   error
 	ckptCount int
+	walErr    error
 }
 
 // New builds a Service around proc. Call Start before Submit.
@@ -98,7 +106,7 @@ func (s *Service) run() {
 		}
 	}
 	// Final checkpoint on drain, so Stop leaves durable state.
-	if s.opts.CheckpointEvery > 0 && s.ingested > 0 {
+	if s.ingested > 0 && (s.opts.CheckpointEvery > 0 || s.opts.Durable != nil) {
 		s.checkpoint()
 	}
 }
@@ -124,9 +132,18 @@ func (s *Service) runParallel(workers int) {
 	}
 }
 
-// apply is the sequential half of ingest: mutate engine state under the
-// write lock and checkpoint on cadence.
+// apply is the sequential half of ingest: make the message durable
+// (WAL-before-apply), mutate engine state under the write lock and
+// checkpoint on cadence.
 func (s *Service) apply(p core.Prepared) {
+	if d := s.opts.Durable; d != nil {
+		if err := d.Log(p.Doc.Msg); err != nil {
+			// The message stays in memory but is not crash-safe:
+			// degraded durability, latched and surfaced by Err while
+			// ingest continues (availability over durability).
+			s.setWALErr(err)
+		}
+	}
 	s.mu.Lock()
 	s.proc.InsertPrepared(p)
 	s.ingested++
@@ -137,26 +154,31 @@ func (s *Service) apply(p core.Prepared) {
 	}
 }
 
-// checkpoint writes engine state to CheckpointPath atomically
-// (temp file + rename). Failures are latched and surfaced by Err.
+// checkpoint writes engine state to disk atomically. Only the writer
+// goroutine calls it. Failures are latched and surfaced by Err.
 func (s *Service) checkpoint() {
-	tmp := s.opts.CheckpointPath + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		s.setCkptErr(err)
+	if d := s.opts.Durable; d != nil {
+		// Draining parked flushes mutates the engine: write lock.
+		s.mu.Lock()
+		d.DrainRetries()
+		s.mu.Unlock()
+		// The checkpoint itself only reads — queries stay answerable.
+		s.mu.RLock()
+		err := d.Checkpoint()
+		s.mu.RUnlock()
+		if err != nil {
+			s.setCkptErr(err)
+			return
+		}
+		s.mu.Lock()
+		s.ckptCount++
+		s.mu.Unlock()
 		return
 	}
 	s.mu.RLock()
-	err = s.proc.Engine().WriteCheckpoint(f)
+	err := s.proc.Engine().SaveCheckpoint(nil, s.opts.CheckpointPath)
 	s.mu.RUnlock()
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err == nil {
-		err = os.Rename(tmp, s.opts.CheckpointPath)
-	}
 	if err != nil {
-		os.Remove(tmp)
 		s.setCkptErr(err)
 		return
 	}
@@ -170,6 +192,14 @@ func (s *Service) setCkptErr(err error) {
 	defer s.mu.Unlock()
 	if s.ckptErr == nil {
 		s.ckptErr = fmt.Errorf("pipeline: checkpoint: %w", err)
+	}
+}
+
+func (s *Service) setWALErr(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.walErr == nil {
+		s.walErr = fmt.Errorf("pipeline: wal: %w", err)
 	}
 }
 
@@ -200,18 +230,22 @@ func (s *Service) Stop() error {
 	<-s.done
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if s.ckptErr != nil {
-		return s.ckptErr
-	}
-	return s.proc.Engine().Err()
+	return s.firstErrLocked()
 }
 
 // Err surfaces the first background failure without stopping.
 func (s *Service) Err() error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	return s.firstErrLocked()
+}
+
+func (s *Service) firstErrLocked() error {
 	if s.ckptErr != nil {
 		return s.ckptErr
+	}
+	if s.walErr != nil {
+		return s.walErr
 	}
 	return s.proc.Engine().Err()
 }

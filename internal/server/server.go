@@ -239,6 +239,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"match_ms":           st.MatchTime.Milliseconds(),
 		"place_ms":           st.PlaceTime.Milliseconds(),
 		"refine_ms":          st.RefineTime.Milliseconds(),
+		"flush_retries":      st.FlushRetries,
+		"flush_dropped":      st.FlushDropped,
+		"flush_parked":       st.FlushParked,
+		"degraded":           st.Degraded(),
 	})
 }
 

@@ -13,8 +13,15 @@
 //
 // Recovery: Open scans every segment. A corrupt or torn record in the
 // final segment truncates the tail (the torn-write case of a crash
-// mid-append); corruption anywhere else is reported as an error, since
-// sealed segments are never legitimately half-written.
+// mid-append), and a final segment whose header never reached the disk
+// (a crash during rotation) is discarded; corruption anywhere else is
+// reported as an error, since sealed segments are never legitimately
+// half-written.
+//
+// All filesystem access goes through an fsx.FS (Options.FS), so every
+// failure path — torn write, ENOSPC, fsync error, frozen image — is
+// testable with fsx's fault injector; production uses the real
+// filesystem by default.
 package storage
 
 import (
@@ -23,12 +30,14 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
 
 	"provex/internal/bundle"
+	"provex/internal/fsx"
 )
 
 var segMagic = [8]byte{'P', 'R', 'O', 'V', 'S', 'E', 'G', '1'}
@@ -38,6 +47,9 @@ const (
 	// DefaultSegmentSize rotates segments at 8 MiB, large enough to
 	// amortise file overhead, small enough for cheap compaction.
 	DefaultSegmentSize = 8 << 20
+	// maxRecordLen caps one record's payload so a corrupt length field
+	// cannot drive an absurd allocation during recovery.
+	maxRecordLen = 64 << 20
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -48,14 +60,24 @@ var ErrNotFound = errors.New("storage: bundle not found")
 // ErrCorrupt reports an unreadable sealed segment.
 var ErrCorrupt = errors.New("storage: corrupt segment")
 
+// errBadMagic distinguishes a segment whose header never made it to
+// disk (crash during rotation — recoverable for the final segment)
+// from record corruption.
+var errBadMagic = errors.New("bad magic")
+
 // Options tune a Store.
 type Options struct {
 	// SegmentSize is the rotation threshold in bytes; 0 means
 	// DefaultSegmentSize.
 	SegmentSize int64
 	// SyncEvery fsyncs the active segment after every n appends;
-	// 0 disables explicit fsync (the OS flushes on its schedule).
+	// 0 disables explicit fsync (the OS flushes on its schedule, and
+	// Sync/Close force it).
 	SyncEvery int
+	// FS is the filesystem the store lives on; nil uses the real one.
+	// Tests substitute fsx.MemFS/fsx.FaultFS to exercise crash and
+	// error paths.
+	FS fsx.FS
 }
 
 // recordPos locates a record inside a segment.
@@ -70,8 +92,9 @@ type Store struct {
 	mu   sync.Mutex
 	dir  string
 	opts Options
+	fs   fsx.FS
 
-	active     *os.File
+	active     fsx.File
 	activeSeg  int
 	activeSize int64
 	appends    int
@@ -79,6 +102,12 @@ type Store struct {
 	index     map[bundle.ID]recordPos
 	deadBytes int64 // superseded record bytes, Compact trigger signal
 	liveBytes int64
+
+	// broken latches a failed tail repair: the active segment's on-disk
+	// state no longer matches the in-memory cursor, so appends are
+	// refused until the store is reopened (recovery truncates the torn
+	// tail). Reads stay available.
+	broken error
 }
 
 // Open opens (creating if needed) the store at dir and replays existing
@@ -87,12 +116,14 @@ func Open(dir string, opts Options) (*Store, error) {
 	if opts.SegmentSize <= 0 {
 		opts.SegmentSize = DefaultSegmentSize
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	opts.FS = fsx.Default(opts.FS)
+	if err := opts.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("storage: %w", err)
 	}
 	s := &Store{
 		dir:   dir,
 		opts:  opts,
+		fs:    opts.FS,
 		index: make(map[bundle.ID]recordPos),
 	}
 	if err := s.recover(); err != nil {
@@ -108,14 +139,14 @@ func (s *Store) segPath(n int) string {
 
 // listSegments returns existing segment numbers ascending.
 func (s *Store) listSegments() ([]int, error) {
-	entries, err := os.ReadDir(s.dir)
+	names, err := s.fs.ReadDir(s.dir)
 	if err != nil {
 		return nil, err
 	}
 	var segs []int
-	for _, e := range entries {
+	for _, name := range names {
 		var n int
-		if _, err := fmt.Sscanf(e.Name(), "seg-%06d.bls", &n); err == nil {
+		if _, err := fmt.Sscanf(name, "seg-%06d.bls", &n); err == nil {
 			segs = append(segs, n)
 		}
 	}
@@ -124,12 +155,25 @@ func (s *Store) listSegments() ([]int, error) {
 }
 
 // recover replays all segments, rebuilding the index. The final segment
-// tolerates a torn tail, which is truncated away; earlier segments must
-// be pristine.
+// tolerates a torn tail, which is truncated away; a final segment whose
+// magic never reached the disk (crash during rotation) is discarded;
+// earlier segments must be pristine.
 func (s *Store) recover() error {
 	segs, err := s.listSegments()
 	if err != nil {
 		return fmt.Errorf("storage: %w", err)
+	}
+	if n := len(segs); n > 0 {
+		bad, err := s.badMagic(segs[n-1])
+		if err != nil {
+			return err
+		}
+		if bad {
+			if rmErr := s.fs.Remove(s.segPath(segs[n-1])); rmErr != nil {
+				return fmt.Errorf("storage: remove stillborn segment: %w", rmErr)
+			}
+			segs = segs[:n-1]
+		}
 	}
 	for i, seg := range segs {
 		last := i == len(segs)-1
@@ -143,10 +187,11 @@ func (s *Store) recover() error {
 		}
 	}
 	if len(segs) == 0 {
+		s.activeSeg = 0
 		return s.rotateLocked()
 	}
 	// Reopen the final segment for appending, truncating a torn tail.
-	f, err := os.OpenFile(s.segPath(s.activeSeg), os.O_RDWR, 0o644)
+	f, err := s.fs.OpenFile(s.segPath(s.activeSeg), os.O_RDWR, 0o644)
 	if err != nil {
 		return fmt.Errorf("storage: %w", err)
 	}
@@ -162,11 +207,26 @@ func (s *Store) recover() error {
 	return nil
 }
 
+// badMagic reports whether segment seg lacks a complete, correct magic
+// header — the signature of a crash during rotation.
+func (s *Store) badMagic(seg int) (bool, error) {
+	f, err := s.fs.Open(s.segPath(seg))
+	if err != nil {
+		return false, fmt.Errorf("storage: %w", err)
+	}
+	defer f.Close()
+	var magic [8]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil || magic != segMagic {
+		return true, nil
+	}
+	return false, nil
+}
+
 // replaySegment scans one segment, indexing its records. It returns the
 // byte length of the valid prefix. tolerateTail permits a torn final
 // record (returning the prefix before it); otherwise corruption errors.
 func (s *Store) replaySegment(seg int, tolerateTail bool) (int64, error) {
-	f, err := os.Open(s.segPath(seg))
+	f, err := s.fs.Open(s.segPath(seg))
 	if err != nil {
 		return 0, fmt.Errorf("storage: %w", err)
 	}
@@ -174,10 +234,7 @@ func (s *Store) replaySegment(seg int, tolerateTail bool) (int64, error) {
 
 	var magic [8]byte
 	if _, err := io.ReadFull(f, magic[:]); err != nil || magic != segMagic {
-		if tolerateTail && err != nil {
-			return 0, fmt.Errorf("%w: segment %d: unreadable header", ErrCorrupt, seg)
-		}
-		return 0, fmt.Errorf("%w: segment %d: bad magic", ErrCorrupt, seg)
+		return 0, fmt.Errorf("%w: segment %d: %w", ErrCorrupt, seg, errBadMagic)
 	}
 	offset := int64(len(segMagic))
 	var hdr [recordHeaderSize]byte
@@ -194,6 +251,12 @@ func (s *Store) replaySegment(seg int, tolerateTail bool) (int64, error) {
 		}
 		length := int64(binary.LittleEndian.Uint32(hdr[0:4]))
 		wantCRC := binary.LittleEndian.Uint32(hdr[4:8])
+		if length > maxRecordLen {
+			if tolerateTail {
+				return offset, nil
+			}
+			return 0, fmt.Errorf("%w: segment %d: oversized record at %d", ErrCorrupt, seg, offset)
+		}
 		payload := make([]byte, length)
 		if _, err := io.ReadFull(f, payload); err != nil {
 			if tolerateTail {
@@ -230,38 +293,82 @@ func (s *Store) indexRecord(id bundle.ID, pos recordPos) {
 	s.liveBytes += recordHeaderSize + pos.length
 }
 
-// rotateLocked seals the active segment and opens the next one.
+// rotateLocked seals the active segment and opens the next one. Every
+// failure path leaves the store retryable: a failed seal keeps the old
+// segment active, and a half-created next segment is removed (or
+// replaced on the next attempt) so it cannot shadow future rotations.
 // Caller holds s.mu (or is in single-threaded Open).
 func (s *Store) rotateLocked() error {
 	if s.active != nil {
 		if err := s.active.Sync(); err != nil {
 			return fmt.Errorf("storage: %w", err)
 		}
-		if err := s.active.Close(); err != nil {
+		err := s.active.Close()
+		s.active = nil
+		if err != nil {
 			return fmt.Errorf("storage: %w", err)
 		}
 	}
-	s.activeSeg++
-	f, err := os.OpenFile(s.segPath(s.activeSeg), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	next := s.activeSeg + 1
+	f, err := s.fs.OpenFile(s.segPath(next), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if errors.Is(err, fs.ErrExist) {
+		// Debris of a previously failed rotation; replace it.
+		if rmErr := s.fs.Remove(s.segPath(next)); rmErr == nil {
+			f, err = s.fs.OpenFile(s.segPath(next), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		}
+	}
 	if err != nil {
 		return fmt.Errorf("storage: %w", err)
 	}
 	if _, err := f.Write(segMagic[:]); err != nil {
 		f.Close()
+		s.fs.Remove(s.segPath(next))
+		return fmt.Errorf("storage: %w", err)
+	}
+	// Make the header durable immediately: a crash after rotation must
+	// find either a well-formed empty segment or (if this sync never
+	// ran) a stillborn file that recovery discards.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		s.fs.Remove(s.segPath(next))
 		return fmt.Errorf("storage: %w", err)
 	}
 	s.active = f
+	s.activeSeg = next
 	s.activeSize = int64(len(segMagic))
 	return nil
 }
 
+// repairTailLocked rewinds the active segment to its last good length
+// after a failed append, so a retried Put starts from a clean boundary
+// instead of appending after a dangling partial record. If the repair
+// itself fails the store is marked broken: further Puts are refused
+// (the on-disk tail is torn, which recovery on the next Open handles),
+// rather than risking interior corruption a reopen could not detect.
+func (s *Store) repairTailLocked() {
+	if s.active == nil {
+		return
+	}
+	if err := s.active.Truncate(s.activeSize); err != nil {
+		s.broken = fmt.Errorf("storage: segment tail unrepaired: %w", err)
+		return
+	}
+	if _, err := s.active.Seek(0, io.SeekEnd); err != nil {
+		s.broken = fmt.Errorf("storage: segment tail unrepaired: %w", err)
+	}
+}
+
 // Put appends b to the store. A bundle already present is superseded by
-// the new record.
+// the new record. A failed Put leaves the store exactly as it was, so
+// the caller may retry (the engine's flush retry queue does).
 func (s *Store) Put(b *bundle.Bundle) error {
 	payload := b.Marshal()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.activeSize >= s.opts.SegmentSize {
+	if s.broken != nil {
+		return s.broken
+	}
+	if s.active == nil || s.activeSize >= s.opts.SegmentSize {
 		if err := s.rotateLocked(); err != nil {
 			return err
 		}
@@ -270,9 +377,11 @@ func (s *Store) Put(b *bundle.Bundle) error {
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
 	if _, err := s.active.Write(hdr[:]); err != nil {
+		s.repairTailLocked()
 		return fmt.Errorf("storage: %w", err)
 	}
 	if _, err := s.active.Write(payload); err != nil {
+		s.repairTailLocked()
 		return fmt.Errorf("storage: %w", err)
 	}
 	s.indexRecord(b.ID(), recordPos{seg: s.activeSeg, offset: s.activeSize, length: int64(len(payload))})
@@ -300,7 +409,7 @@ func (s *Store) Get(id bundle.ID) (*bundle.Bundle, error) {
 func (s *Store) readAt(pos recordPos) (*bundle.Bundle, error) {
 	// The active segment is written through s.active; reads open their
 	// own handle so readers never disturb the append cursor.
-	f, err := os.Open(s.segPath(pos.seg))
+	f, err := s.fs.Open(s.segPath(pos.seg))
 	if err != nil {
 		return nil, fmt.Errorf("storage: %w", err)
 	}
@@ -438,9 +547,24 @@ func (s *Store) Compact() error {
 		return fmt.Errorf("storage: %w", err)
 	}
 	for _, seg := range oldSegs {
-		if err := os.Remove(s.segPath(seg)); err != nil {
+		if err := s.fs.Remove(s.segPath(seg)); err != nil {
 			return fmt.Errorf("storage: remove old segment: %w", err)
 		}
+	}
+	return nil
+}
+
+// Sync flushes the active segment to stable storage. The durability
+// layer calls it before a checkpoint truncates the write-ahead log, so
+// no flushed bundle can be lost once its source messages are.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.active == nil {
+		return nil
+	}
+	if err := s.active.Sync(); err != nil {
+		return fmt.Errorf("storage: %w", err)
 	}
 	return nil
 }

@@ -1,0 +1,445 @@
+// Package wal is the write-ahead log of the ingest path: every raw
+// message is appended (and fsynced on a batching cadence) before it is
+// applied to the in-memory engine, so a crash loses at most the
+// unsynced tail — everything acknowledged survives as checkpoint +
+// WAL replay.
+//
+// Layout: a log directory holds numbered files (wal-000001.log, ...).
+// Each starts with an 8-byte magic and carries length-prefixed CRC32C-
+// guarded records; one record is one message tagged with its stream
+// sequence number (the engine's message ordinal). Normally a single
+// file is live; Truncate — called after a checkpoint has made all
+// logged messages redundant — starts a fresh file and removes the old
+// ones, so stale files only pile up when removal itself fails, and
+// replay filters those by sequence number anyway.
+//
+// Recovery contract (mirrors package storage): a torn or corrupt
+// record in the final file marks the end of the log — the tail is
+// truncated on Open. Corruption in an earlier file is an error, since
+// sealed files are never legitimately half-written.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"provex/internal/fsx"
+	"provex/internal/tweet"
+)
+
+var walMagic = [8]byte{'P', 'R', 'O', 'V', 'W', 'A', 'L', '1'}
+
+const (
+	recordHeaderSize = 8 // u32 length + u32 crc32c
+	// maxRecordLen caps one record's payload so a corrupt length field
+	// cannot drive an absurd allocation during replay.
+	maxRecordLen = 16 << 20
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt reports an unreadable sealed WAL file.
+var ErrCorrupt = errors.New("wal: corrupt log")
+
+// errBadMagic distinguishes a file whose header never made it to disk
+// (crash during creation — recoverable for the final file) from record
+// corruption.
+var errBadMagic = errors.New("bad magic")
+
+// Options tune a Log.
+type Options struct {
+	// FS is the filesystem; nil uses the real one.
+	FS fsx.FS
+	// SyncEvery fsyncs after every n appended records; <=1 syncs every
+	// append (the maximally durable default).
+	SyncEvery int
+}
+
+// Log is an open write-ahead log positioned for appending. Not safe
+// for concurrent use: the ingest pipeline's single writer owns it.
+type Log struct {
+	fs   fsx.FS
+	dir  string
+	opts Options
+
+	f       fsx.File
+	seg     int
+	size    int64
+	pending int    // appended records not yet fsynced
+	lastSeq uint64 // highest sequence appended or replayed
+}
+
+// Open opens (creating if needed) the log at dir, verifies existing
+// files and truncates a torn tail in the final one, leaving the log
+// positioned for appends. Use Replay before appending to feed logged
+// messages back into the engine.
+func Open(dir string, opts Options) (*Log, error) {
+	opts.FS = fsx.Default(opts.FS)
+	if opts.SyncEvery < 1 {
+		opts.SyncEvery = 1
+	}
+	if err := opts.FS.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l := &Log{fs: opts.FS, dir: dir, opts: opts}
+	segs, err := l.listFiles()
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if n := len(segs); n > 0 {
+		// A final file without a complete magic is the debris of a crash
+		// during file creation; it never held a record. Drop it and fall
+		// back to the previous file (or a fresh one).
+		if _, _, err := l.scanFile(segs[n-1], true, 0, nil); errors.Is(err, errBadMagic) {
+			if rmErr := l.fs.Remove(l.filePath(segs[n-1])); rmErr != nil {
+				return nil, fmt.Errorf("wal: remove stillborn file: %w", rmErr)
+			}
+			segs = segs[:n-1]
+		}
+	}
+	for i, seg := range segs {
+		last := i == len(segs)-1
+		validLen, maxSeq, err := l.scanFile(seg, last, 0, nil)
+		if err != nil {
+			return nil, err
+		}
+		if maxSeq > l.lastSeq {
+			l.lastSeq = maxSeq
+		}
+		if last {
+			l.seg = seg
+			l.size = validLen
+		}
+	}
+	if len(segs) == 0 {
+		if err := l.startFile(); err != nil {
+			return nil, err
+		}
+		return l, nil
+	}
+	// Reopen the final file for appending, truncating any torn tail.
+	f, err := l.fs.OpenFile(l.filePath(l.seg), os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if err := f.Truncate(l.size); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l.f = f
+	return l, nil
+}
+
+// filePath names log file n.
+func (l *Log) filePath(n int) string {
+	return filepath.Join(l.dir, fmt.Sprintf("wal-%06d.log", n))
+}
+
+// listFiles returns existing log file numbers ascending.
+func (l *Log) listFiles() ([]int, error) {
+	names, err := l.fs.ReadDir(l.dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []int
+	for _, name := range names {
+		var n int
+		if _, err := fmt.Sscanf(name, "wal-%06d.log", &n); err == nil {
+			segs = append(segs, n)
+		}
+	}
+	sort.Ints(segs)
+	return segs, nil
+}
+
+// startFile begins a fresh log file after the current number and syncs
+// its header, so the file itself survives a crash.
+func (l *Log) startFile() error {
+	l.seg++
+	f, err := l.fs.OpenFile(l.filePath(l.seg), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if _, err := f.Write(walMagic[:]); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.f = f
+	l.size = int64(len(walMagic))
+	l.pending = 0
+	return nil
+}
+
+// scanFile reads one log file. When fn is nil it only validates,
+// returning the valid prefix length and the highest sequence seen;
+// tolerateTail permits a torn final record. When fn is non-nil every
+// record with seq > afterSeq is decoded and passed to it.
+func (l *Log) scanFile(seg int, tolerateTail bool, afterSeq uint64, fn func(seq uint64, m *tweet.Message) error) (int64, uint64, error) {
+	f, err := l.fs.Open(l.filePath(seg))
+	if err != nil {
+		return 0, 0, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+
+	var maxSeq uint64
+	var magic [8]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil || magic != walMagic {
+		return 0, 0, fmt.Errorf("%w: file %d: %w", ErrCorrupt, seg, errBadMagic)
+	}
+	offset := int64(len(walMagic))
+	var hdr [recordHeaderSize]byte
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			if err == io.EOF {
+				return offset, maxSeq, nil
+			}
+			if tolerateTail {
+				return offset, maxSeq, nil
+			}
+			return 0, 0, fmt.Errorf("%w: file %d: torn header at %d", ErrCorrupt, seg, offset)
+		}
+		length := int64(binary.LittleEndian.Uint32(hdr[0:4]))
+		wantCRC := binary.LittleEndian.Uint32(hdr[4:8])
+		if length > maxRecordLen {
+			if tolerateTail {
+				return offset, maxSeq, nil
+			}
+			return 0, 0, fmt.Errorf("%w: file %d: oversized record at %d", ErrCorrupt, seg, offset)
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			if tolerateTail {
+				return offset, maxSeq, nil
+			}
+			return 0, 0, fmt.Errorf("%w: file %d: torn payload at %d", ErrCorrupt, seg, offset)
+		}
+		if crc32.Checksum(payload, crcTable) != wantCRC {
+			if tolerateTail {
+				return offset, maxSeq, nil
+			}
+			return 0, 0, fmt.Errorf("%w: file %d: bad checksum at %d", ErrCorrupt, seg, offset)
+		}
+		seq, m, err := decodeRecord(payload)
+		if err != nil {
+			if tolerateTail {
+				return offset, maxSeq, nil
+			}
+			return 0, 0, fmt.Errorf("%w: file %d: undecodable record at %d: %v", ErrCorrupt, seg, offset, err)
+		}
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+		if fn != nil && seq > afterSeq {
+			if err := fn(seq, m); err != nil {
+				return 0, 0, err
+			}
+		}
+		offset += recordHeaderSize + length
+	}
+}
+
+// Replay streams every logged message with sequence > afterSeq to fn in
+// log order. Call it once, after Open and before the first Append.
+// afterSeq is the message count the restored checkpoint already covers.
+func (l *Log) Replay(afterSeq uint64, fn func(seq uint64, m *tweet.Message) error) error {
+	segs, err := l.listFiles()
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	for i, seg := range segs {
+		if _, _, err := l.scanFile(seg, i == len(segs)-1, afterSeq, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// encodeRecord flattens (seq, m) into a record payload: the raw message
+// fields only — indicants are re-extracted by tweet.Parse on replay, so
+// the parser stays the single source of truth (same contract as the
+// JSONL codec).
+func encodeRecord(seq uint64, m *tweet.Message) []byte {
+	buf := make([]byte, 0, 32+len(m.User)+len(m.Text))
+	buf = binary.AppendUvarint(buf, seq)
+	buf = binary.AppendUvarint(buf, uint64(m.ID))
+	buf = binary.AppendVarint(buf, m.Date.UnixNano())
+	buf = binary.AppendUvarint(buf, uint64(len(m.User)))
+	buf = append(buf, m.User...)
+	buf = binary.AppendUvarint(buf, uint64(len(m.Text)))
+	buf = append(buf, m.Text...)
+	return buf
+}
+
+// decodeRecord parses one record payload back into its message.
+func decodeRecord(payload []byte) (uint64, *tweet.Message, error) {
+	rd := recReader{data: payload}
+	seq := rd.uvarint()
+	id := rd.uvarint()
+	nanos := rd.varint()
+	user := rd.str()
+	text := rd.str()
+	if rd.err != nil {
+		return 0, nil, rd.err
+	}
+	if rd.pos != len(payload) {
+		return 0, nil, errors.New("trailing bytes")
+	}
+	m := tweet.Parse(tweet.ID(id), user, time.Unix(0, nanos).UTC(), text)
+	return seq, m, nil
+}
+
+type recReader struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (r *recReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 {
+		r.err = errors.New("bad uvarint")
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *recReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.data[r.pos:])
+	if n <= 0 {
+		r.err = errors.New("bad varint")
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *recReader) str() string {
+	n := int(r.uvarint())
+	if r.err != nil {
+		return ""
+	}
+	if n < 0 || r.pos+n > len(r.data) {
+		r.err = errors.New("bad string length")
+		return ""
+	}
+	s := string(r.data[r.pos : r.pos+n])
+	r.pos += n
+	return s
+}
+
+// Append logs message m under sequence seq (the engine ordinal it will
+// occupy), fsyncing on the configured cadence. Sequences must be
+// appended in increasing order. When Append returns nil and a
+// subsequent Sync (explicit or cadence-driven) succeeds, the message is
+// durable.
+func (l *Log) Append(seq uint64, m *tweet.Message) error {
+	if seq <= l.lastSeq {
+		return fmt.Errorf("wal: sequence %d not after %d", seq, l.lastSeq)
+	}
+	payload := encodeRecord(seq, m)
+	var hdr [recordHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	if _, err := l.f.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if _, err := l.f.Write(payload); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.size += recordHeaderSize + int64(len(payload))
+	l.lastSeq = seq
+	l.pending++
+	if l.pending >= l.opts.SyncEvery {
+		return l.Sync()
+	}
+	return nil
+}
+
+// Sync flushes appended records to stable storage.
+func (l *Log) Sync() error {
+	if l.pending == 0 {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.pending = 0
+	return nil
+}
+
+// LastSeq returns the highest sequence number appended or recovered.
+func (l *Log) LastSeq() uint64 { return l.lastSeq }
+
+// Size returns the byte length of the active log file.
+func (l *Log) Size() int64 { return l.size }
+
+// Truncate discards all logged records — call it only after a
+// checkpoint has made every logged message redundant. A fresh file is
+// started (and synced) before old files are removed, so a crash at any
+// point leaves either the old records (harmless: replay filters by
+// sequence) or the clean new file.
+func (l *Log) Truncate() error {
+	if err := l.Sync(); err != nil {
+		return err
+	}
+	old, err := l.listFiles()
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	prev := l.f
+	if err := l.startFile(); err != nil {
+		// The old file is still live and intact; keep appending to it.
+		l.f = prev
+		l.seg--
+		return err
+	}
+	prev.Close()
+	for _, seg := range old {
+		if err := l.fs.Remove(l.filePath(seg)); err != nil {
+			// Stale files are tolerated: replay filters their records
+			// by sequence. Surface the error so callers can count it.
+			return fmt.Errorf("wal: remove stale file: %w", err)
+		}
+	}
+	return nil
+}
+
+// Close syncs and closes the active file.
+func (l *Log) Close() error {
+	if l.f == nil {
+		return nil
+	}
+	if err := l.Sync(); err != nil {
+		l.f.Close()
+		l.f = nil
+		return err
+	}
+	err := l.f.Close()
+	l.f = nil
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,273 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"provex/internal/fsx"
+	"provex/internal/tweet"
+)
+
+func msg(i int) *tweet.Message {
+	date := time.Date(2009, 9, 29, 18, 0, 0, 0, time.UTC).Add(time.Duration(i) * time.Second)
+	return tweet.Parse(tweet.ID(i), fmt.Sprintf("user%d", i%7),
+		date, fmt.Sprintf("message %d about #tsunami and http://x.io/%d", i, i))
+}
+
+// appendN appends messages [from, to) under sequences from+1..to.
+func appendN(t *testing.T, l *Log, from, to int) {
+	t.Helper()
+	for i := from; i < to; i++ {
+		if err := l.Append(uint64(i+1), msg(i)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+}
+
+// collect replays the log into a slice.
+func collect(t *testing.T, l *Log, after uint64) (seqs []uint64, msgs []*tweet.Message) {
+	t.Helper()
+	err := l.Replay(after, func(seq uint64, m *tweet.Message) error {
+		seqs = append(seqs, seq)
+		msgs = append(msgs, m)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return seqs, msgs
+}
+
+func TestAppendReplayRoundtrip(t *testing.T) {
+	mem := fsx.NewMem()
+	l, err := Open("wal", Options{FS: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 0, 20)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open("wal", Options{FS: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.LastSeq() != 20 {
+		t.Fatalf("LastSeq = %d", l2.LastSeq())
+	}
+	seqs, msgs := collect(t, l2, 0)
+	if len(seqs) != 20 {
+		t.Fatalf("replayed %d records", len(seqs))
+	}
+	for i, m := range msgs {
+		want := msg(i)
+		if seqs[i] != uint64(i+1) {
+			t.Fatalf("seq[%d] = %d", i, seqs[i])
+		}
+		if m.ID != want.ID || m.User != want.User || m.Text != want.Text || !m.Date.Equal(want.Date) {
+			t.Fatalf("message %d mismatch: got %+v want %+v", i, m, want)
+		}
+		if len(m.Hashtags) != len(want.Hashtags) || len(m.URLs) != len(want.URLs) {
+			t.Fatalf("message %d indicants not re-extracted: %+v", i, m)
+		}
+	}
+}
+
+func TestReplaySeqFilter(t *testing.T) {
+	mem := fsx.NewMem()
+	l, _ := Open("wal", Options{FS: mem})
+	appendN(t, l, 0, 10)
+	seqs, _ := collect(t, l, 7)
+	if len(seqs) != 3 || seqs[0] != 8 || seqs[2] != 10 {
+		t.Fatalf("filtered replay = %v", seqs)
+	}
+}
+
+func TestAppendRejectsStaleSeq(t *testing.T) {
+	mem := fsx.NewMem()
+	l, _ := Open("wal", Options{FS: mem})
+	appendN(t, l, 0, 3)
+	if err := l.Append(3, msg(99)); err == nil {
+		t.Fatal("stale sequence accepted")
+	}
+}
+
+func TestCrashLosesOnlyUnsyncedTail(t *testing.T) {
+	mem := fsx.NewMem()
+	l, _ := Open("wal", Options{FS: mem, SyncEvery: 4})
+	appendN(t, l, 0, 10) // records 1..8 synced (two batches), 9..10 pending
+	mem.Crash()
+
+	l2, err := Open("wal", Options{FS: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs, _ := collect(t, l2, 0)
+	if len(seqs) != 8 || seqs[len(seqs)-1] != 8 {
+		t.Fatalf("after crash replay = %v, want 1..8", seqs)
+	}
+	// The log must accept new appends for the lost sequences.
+	if err := l2.Append(9, msg(8)); err != nil {
+		t.Fatalf("append after crash: %v", err)
+	}
+}
+
+func TestTornTailTruncatedOnOpen(t *testing.T) {
+	mem := fsx.NewMem()
+	l, _ := Open("wal", Options{FS: mem})
+	appendN(t, l, 0, 5)
+	l.Close()
+
+	// Chop the final record mid-payload.
+	name := "wal/wal-000001.log"
+	data, err := mem.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem.WriteFile(name, data[:len(data)-3])
+
+	l2, err := Open("wal", Options{FS: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs, _ := collect(t, l2, 0)
+	if len(seqs) != 4 {
+		t.Fatalf("replay after torn tail = %v, want 4 records", seqs)
+	}
+	if l2.LastSeq() != 4 {
+		t.Fatalf("LastSeq = %d", l2.LastSeq())
+	}
+	// Appending over the truncated tail works.
+	if err := l2.Append(5, msg(4)); err != nil {
+		t.Fatal(err)
+	}
+	seqs, _ = collect(t, l2, 0)
+	if len(seqs) != 5 {
+		t.Fatalf("after re-append = %v", seqs)
+	}
+}
+
+func TestCorruptRecordInTailTolerated(t *testing.T) {
+	mem := fsx.NewMem()
+	l, _ := Open("wal", Options{FS: mem})
+	appendN(t, l, 0, 5)
+	l.Close()
+
+	name := "wal/wal-000001.log"
+	data, _ := mem.ReadFile(name)
+	data[len(data)-1] ^= 0xFF // flip a payload bit in the final record
+	mem.WriteFile(name, data)
+
+	l2, err := Open("wal", Options{FS: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs, _ := collect(t, l2, 0)
+	if len(seqs) != 4 {
+		t.Fatalf("replay = %v, want 4 (corrupt tail dropped)", seqs)
+	}
+}
+
+func TestTruncateDiscardsAndRestarts(t *testing.T) {
+	mem := fsx.NewMem()
+	l, _ := Open("wal", Options{FS: mem})
+	appendN(t, l, 0, 10)
+	if err := l.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	seqs, _ := collect(t, l, 0)
+	if len(seqs) != 0 {
+		t.Fatalf("replay after truncate = %v", seqs)
+	}
+	// Appends continue with later sequences.
+	appendN(t, l, 10, 15)
+	seqs, _ = collect(t, l, 10)
+	if len(seqs) != 5 || seqs[0] != 11 {
+		t.Fatalf("post-truncate replay = %v", seqs)
+	}
+	l.Close()
+
+	names, _ := mem.ReadDir("wal")
+	if len(names) != 1 {
+		t.Fatalf("files after truncate = %v, want exactly one", names)
+	}
+}
+
+func TestStaleFilesFilteredWhenRemoveFails(t *testing.T) {
+	mem := fsx.NewMem()
+	ff := fsx.NewFault(mem)
+	l, _ := Open("wal", Options{FS: ff})
+	appendN(t, l, 0, 6)
+	ff.Arm(1, fsx.Fault{}, fsx.OpRemove)
+	if err := l.Truncate(); !errors.Is(err, fsx.ErrInjected) {
+		t.Fatalf("truncate err = %v, want injected remove failure", err)
+	}
+	ff.Disarm()
+	// The stale file survived, but its records are at or below the
+	// covered sequence, so a replay after seq 6 yields nothing.
+	seqs, _ := collect(t, l, 6)
+	if len(seqs) != 0 {
+		t.Fatalf("stale records leaked: %v", seqs)
+	}
+	appendN(t, l, 6, 9)
+	seqs, _ = collect(t, l, 6)
+	if len(seqs) != 3 || seqs[0] != 7 {
+		t.Fatalf("replay = %v", seqs)
+	}
+}
+
+func TestSyncErrorSurfacesOnAppend(t *testing.T) {
+	mem := fsx.NewMem()
+	ff := fsx.NewFault(mem)
+	l, _ := Open("wal", Options{FS: ff, SyncEvery: 1})
+	ff.Arm(1, fsx.Fault{}, fsx.OpSync)
+	if err := l.Append(1, msg(0)); !errors.Is(err, fsx.ErrInjected) {
+		t.Fatalf("append err = %v, want injected fsync failure", err)
+	}
+}
+
+func TestCrashDuringFileCreationRecovered(t *testing.T) {
+	mem := fsx.NewMem()
+	l, _ := Open("wal", Options{FS: mem})
+	appendN(t, l, 0, 3)
+	l.Sync()
+	// Simulate the debris of a crashed Truncate: a follow-up file whose
+	// magic never made it to disk.
+	mem.WriteFile("wal/wal-000002.log", []byte("PRO")) // torn magic
+	l2, err := Open("wal", Options{FS: mem})
+	if err != nil {
+		t.Fatalf("open over stillborn file: %v", err)
+	}
+	seqs, _ := collect(t, l2, 0)
+	if len(seqs) != 3 {
+		t.Fatalf("replay = %v", seqs)
+	}
+	if err := l2.Append(4, msg(3)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorruptSealedFileErrors(t *testing.T) {
+	mem := fsx.NewMem()
+	ff := fsx.NewFault(mem)
+	l, _ := Open("wal", Options{FS: ff})
+	appendN(t, l, 0, 4)
+	// Make file 1 sealed by forcing a truncate whose remove fails, then
+	// corrupt a record inside it.
+	ff.Arm(1, fsx.Fault{}, fsx.OpRemove)
+	_ = l.Truncate()
+	ff.Disarm()
+	appendN(t, l, 4, 6)
+	l.Close()
+
+	data, _ := mem.ReadFile("wal/wal-000001.log")
+	data[12] ^= 0x40
+	mem.WriteFile("wal/wal-000001.log", data)
+
+	if _, err := Open("wal", Options{FS: mem}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("open err = %v, want ErrCorrupt for sealed file", err)
+	}
+}
