@@ -83,10 +83,12 @@ func buildProcessor(ckpt string) *query.Processor {
 			st := eng.Snapshot()
 			fmt.Fprintf(os.Stderr, "provserve: resumed from %s (%d messages, %d bundles)\n",
 				ckpt, st.Messages, st.BundlesLive)
-			// Note: the baseline message index is not checkpointed; a
-			// resumed server answers /prov and /bundle over the full
-			// history but /search only over post-resume messages.
-			return query.New(eng, query.DefaultOptions())
+			// The baseline message index is not checkpointed; rebuild
+			// it from the restored pool so /search covers the full
+			// recovered history, not just post-resume messages.
+			proc := query.New(eng, query.DefaultOptions())
+			proc.Reindex()
+			return proc
 		}
 	}
 	return query.New(core.New(cfg, nil, nil), query.DefaultOptions())
@@ -191,6 +193,10 @@ func serveLive(src stream.Source, addr, ckpt, walDir string) {
 				st.Messages, dur.Replayed())
 		}
 		proc = query.New(dur.Engine(), query.DefaultOptions())
+		// Recovery bypassed the processor, so rebuild the baseline
+		// message index from the recovered pool — /search answers over
+		// the full recovered history, not just post-resume messages.
+		proc.Reindex()
 		opts.Durable = dur
 		opts.CheckpointEvery = 50_000
 	default:

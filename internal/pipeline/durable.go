@@ -147,6 +147,12 @@ func (d *Durable) Checkpoint() error {
 	if err := d.eng.SaveCheckpoint(d.fs, d.opts.CheckpointPath); err != nil {
 		return err
 	}
+	// The checkpoint now covers every engine message, so WAL sequences
+	// must rejoin the engine ordinal here: if a failed Log ever skipped
+	// a message (degraded mode), seq lags the engine count and every
+	// post-checkpoint append would sit at or below the count recovery
+	// passes to Replay — filtered out, silently losing logged messages.
+	d.seq = uint64(d.eng.Snapshot().Messages)
 	if err := d.wal.Truncate(); err != nil {
 		// Stale log records are filtered by sequence on the next open;
 		// surface the error but the checkpoint itself stands.

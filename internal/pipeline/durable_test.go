@@ -127,6 +127,65 @@ func TestDurableCrashRecoversAcknowledged(t *testing.T) {
 	assertEnginesEqual(t, ref, d2.Engine())
 }
 
+// TestCheckpointResyncsSeqAfterFailedLog: a failed WAL append in
+// degraded mode (message applied to the engine but never logged) must
+// not leave WAL sequences lagging engine ordinals past the next
+// checkpoint — otherwise recovery's Replay(afterSeq = checkpoint count)
+// filters out acknowledged, successfully-logged later messages.
+func TestCheckpointResyncsSeqAfterFailedLog(t *testing.T) {
+	mem := fsx.NewMem()
+	ff := fsx.NewFault(mem)
+	cfg := core.PartialIndexConfig(300)
+	msgs := genMessages(24, 40)
+
+	d, err := OpenDurable(cfg, nil, nil, durableOpts(ff))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range msgs[:20] {
+		if _, err := d.Ingest(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Degraded-mode step, exactly as Service.apply does it: the WAL
+	// append fails (torn write, tail repaired) but the message still
+	// enters the engine — in memory only, not crash-safe.
+	ff.Arm(1, fsx.Fault{TornBytes: 3}, fsx.OpWrite)
+	if err := d.Log(msgs[20]); err == nil {
+		t.Fatal("Log succeeded despite injected write fault")
+	}
+	ff.Disarm()
+	d.Engine().Insert(msgs[20])
+
+	for _, m := range msgs[21:30] {
+		if _, err := d.Ingest(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Everything after the checkpoint is logged successfully and
+	// acknowledged, so it must survive a crash.
+	for _, m := range msgs[30:] {
+		if _, err := d.Ingest(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mem.Crash()
+
+	d2, err := OpenDurable(cfg, nil, nil, durableOpts(mem))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Replayed() != 10 {
+		t.Fatalf("Replayed = %d, want all 10 post-checkpoint messages", d2.Replayed())
+	}
+	if got := d2.Engine().Snapshot().Messages; got != 40 {
+		t.Fatalf("recovered Messages = %d, want 40", got)
+	}
+}
+
 // TestDurableServiceIntegration: the concurrent Service with a Durable
 // attached WAL-logs every applied message and checkpoints on cadence,
 // so a kill between checkpoints recovers everything the writer applied.

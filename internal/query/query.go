@@ -143,6 +143,36 @@ func (p *Processor) InsertPrepared(prep core.Prepared) core.InsertResult {
 	return res
 }
 
+// Reindex rebuilds the baseline message index from the engine's live
+// pool and returns the number of messages indexed. This is the
+// recovery companion: checkpoint restore and WAL replay insert
+// straight into the engine, so a resumed Processor starts with an
+// empty message index even though every pool node still carries its
+// message and extracted keywords. Messages evicted to disk before the
+// checkpoint are not recoverable here; under an unbounded pool
+// (FullIndexConfig) the rebuilt index covers the full history. No-op
+// without KeepMessages.
+func (p *Processor) Reindex() int {
+	if p.msgIndex == nil {
+		return 0
+	}
+	p.msgIndex = textindex.New()
+	p.messages = make(map[textindex.DocID]*tweet.Message)
+	n := 0
+	p.eng.Pool().All(func(b *bundle.Bundle) {
+		for _, node := range b.Nodes() {
+			m := node.Doc.Msg
+			terms := make([]string, 0, len(node.Doc.Keywords)+len(m.Hashtags))
+			terms = append(terms, node.Doc.Keywords...)
+			terms = append(terms, m.Hashtags...)
+			p.msgIndex.Add(textindex.DocID(m.ID), terms)
+			p.messages[textindex.DocID(m.ID)] = m
+			n++
+		}
+	})
+	return n
+}
+
 // Engine exposes the wrapped engine.
 func (p *Processor) Engine() *core.Engine { return p.eng }
 

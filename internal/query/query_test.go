@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"provex/internal/core"
+	"provex/internal/fsx"
 	"provex/internal/gen"
 	"provex/internal/tweet"
 )
@@ -52,6 +53,46 @@ func TestSearchMessages(t *testing.T) {
 	for _, h := range hits {
 		if strings.Contains(h.Msg.Text, "stocks") && !strings.Contains(h.Msg.Text, "redsox") {
 			t.Errorf("unrelated message surfaced: %q", h.Msg.Text)
+		}
+	}
+}
+
+// TestReindexRebuildsMessageSearch: the recovery path (checkpoint
+// restore, WAL replay) inserts straight into the engine, leaving the
+// Processor's baseline message index empty; Reindex must rebuild it
+// from the pool so SearchMessages matches an uninterrupted run.
+func TestReindexRebuildsMessageSearch(t *testing.T) {
+	p := newGameProcessor(t)
+	want := p.SearchMessages("lester redsox", 10)
+	if len(want) == 0 {
+		t.Fatal("no reference hits")
+	}
+
+	// Simulate recovery: round-trip the engine through a checkpoint and
+	// wrap it in a fresh Processor that never saw an Insert.
+	mem := fsx.NewMem()
+	if err := p.Engine().SaveCheckpoint(mem, "ckpt"); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.LoadCheckpoint(core.FullIndexConfig(), nil, nil, mem, "ckpt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := New(eng, DefaultOptions())
+	if hits := p2.SearchMessages("lester redsox", 10); len(hits) != 0 {
+		t.Fatalf("resumed processor unexpectedly indexed: %d hits", len(hits))
+	}
+	if n := p2.Reindex(); n != 6 {
+		t.Fatalf("Reindex = %d messages, want 6", n)
+	}
+	got := p2.SearchMessages("lester redsox", 10)
+	if len(got) != len(want) {
+		t.Fatalf("hits after reindex = %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Msg.ID != want[i].Msg.ID || got[i].Score != want[i].Score {
+			t.Fatalf("hit %d: got (%d, %g) want (%d, %g)",
+				i, got[i].Msg.ID, got[i].Score, want[i].Msg.ID, want[i].Score)
 		}
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
@@ -74,6 +75,7 @@ type Log struct {
 	size    int64
 	pending int    // appended records not yet fsynced
 	lastSeq uint64 // highest sequence appended or replayed
+	broken  error  // set when a torn tail could not be repaired; appends refused
 }
 
 // Open opens (creating if needed) the log at dir, verifies existing
@@ -164,21 +166,34 @@ func (l *Log) listFiles() ([]int, error) {
 }
 
 // startFile begins a fresh log file after the current number and syncs
-// its header, so the file itself survives a crash.
+// its header, so the file itself survives a crash. Every failure path
+// leaves the log retryable: the current file stays untouched (l.seg and
+// l.f change only on success), and a half-created next file is removed
+// (or replaced on the next attempt) so it cannot block future starts.
 func (l *Log) startFile() error {
-	l.seg++
-	f, err := l.fs.OpenFile(l.filePath(l.seg), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	next := l.seg + 1
+	path := l.filePath(next)
+	f, err := l.fs.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if errors.Is(err, fs.ErrExist) {
+		// Debris of a previously failed start; replace it.
+		if rmErr := l.fs.Remove(path); rmErr == nil {
+			f, err = l.fs.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		}
+	}
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
 	if _, err := f.Write(walMagic[:]); err != nil {
 		f.Close()
+		l.fs.Remove(path)
 		return fmt.Errorf("wal: %w", err)
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
+		l.fs.Remove(path)
 		return fmt.Errorf("wal: %w", err)
 	}
+	l.seg = next
 	l.f = f
 	l.size = int64(len(walMagic))
 	l.pending = 0
@@ -355,6 +370,9 @@ func (r *recReader) str() string {
 // subsequent Sync (explicit or cadence-driven) succeeds, the message is
 // durable.
 func (l *Log) Append(seq uint64, m *tweet.Message) error {
+	if l.broken != nil {
+		return l.broken
+	}
 	if seq <= l.lastSeq {
 		return fmt.Errorf("wal: sequence %d not after %d", seq, l.lastSeq)
 	}
@@ -363,9 +381,11 @@ func (l *Log) Append(seq uint64, m *tweet.Message) error {
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
 	if _, err := l.f.Write(hdr[:]); err != nil {
+		l.repairTail()
 		return fmt.Errorf("wal: %w", err)
 	}
 	if _, err := l.f.Write(payload); err != nil {
+		l.repairTail()
 		return fmt.Errorf("wal: %w", err)
 	}
 	l.size += recordHeaderSize + int64(len(payload))
@@ -375,6 +395,23 @@ func (l *Log) Append(seq uint64, m *tweet.Message) error {
 		return l.Sync()
 	}
 	return nil
+}
+
+// repairTail rewinds the active file to its last good length after a
+// failed append, so a later append starts at a clean record boundary
+// instead of after dangling partial bytes whose CRC mismatch would end
+// replay early and silently drop every record behind them. If the
+// repair itself fails the log is latched broken: Append and Truncate
+// are refused, keeping the torn tail in the final file where the next
+// Open truncates it, rather than sealing it where Open must fail.
+func (l *Log) repairTail() {
+	if err := l.f.Truncate(l.size); err != nil {
+		l.broken = fmt.Errorf("wal: tail unrepaired: %w", err)
+		return
+	}
+	if _, err := l.f.Seek(0, io.SeekEnd); err != nil {
+		l.broken = fmt.Errorf("wal: tail unrepaired: %w", err)
+	}
 }
 
 // Sync flushes appended records to stable storage.
@@ -401,6 +438,9 @@ func (l *Log) Size() int64 { return l.size }
 // point leaves either the old records (harmless: replay filters by
 // sequence) or the clean new file.
 func (l *Log) Truncate() error {
+	if l.broken != nil {
+		return l.broken
+	}
 	if err := l.Sync(); err != nil {
 		return err
 	}
@@ -410,13 +450,17 @@ func (l *Log) Truncate() error {
 	}
 	prev := l.f
 	if err := l.startFile(); err != nil {
-		// The old file is still live and intact; keep appending to it.
-		l.f = prev
-		l.seg--
+		// startFile left l.f/l.seg untouched: the old file is still
+		// live and intact, so appends simply continue into it.
 		return err
 	}
 	prev.Close()
 	for _, seg := range old {
+		if seg == l.seg {
+			// Debris listed at this number was already replaced by the
+			// fresh live file startFile just created; keep that one.
+			continue
+		}
 		if err := l.fs.Remove(l.filePath(seg)); err != nil {
 			// Stale files are tolerated: replay filters their records
 			// by sequence. Surface the error so callers can count it.

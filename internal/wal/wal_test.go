@@ -219,6 +219,123 @@ func TestStaleFilesFilteredWhenRemoveFails(t *testing.T) {
 	}
 }
 
+func TestAppendFailureRepairsTail(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		nth  int64 // which write of the append tears: 1 = header, 2 = payload
+	}{{"header", 1}, {"payload", 2}} {
+		t.Run(tc.name, func(t *testing.T) {
+			mem := fsx.NewMem()
+			ff := fsx.NewFault(mem)
+			l, _ := Open("wal", Options{FS: ff})
+			appendN(t, l, 0, 5)
+			// The write tears, leaving partial garbage bytes at the
+			// append position before the error surfaces.
+			ff.Arm(tc.nth, fsx.Fault{TornBytes: 3}, fsx.OpWrite)
+			if err := l.Append(6, msg(5)); !errors.Is(err, fsx.ErrInjected) {
+				t.Fatalf("append err = %v, want injected write failure", err)
+			}
+			ff.Disarm()
+			// The tail was repaired: the retried append lands at a clean
+			// record boundary, so nothing behind it is lost to a CRC
+			// mismatch at the garbage.
+			appendN(t, l, 5, 10)
+			l.Close()
+
+			l2, err := Open("wal", Options{FS: mem})
+			if err != nil {
+				t.Fatal(err)
+			}
+			seqs, _ := collect(t, l2, 0)
+			if len(seqs) != 10 || seqs[9] != 10 {
+				t.Fatalf("replay = %v, want 1..10 with no drop after the torn append", seqs)
+			}
+		})
+	}
+}
+
+func TestUnrepairedTailLatchesBroken(t *testing.T) {
+	mem := fsx.NewMem()
+	ff := fsx.NewFault(mem)
+	l, _ := Open("wal", Options{FS: ff})
+	appendN(t, l, 0, 5)
+	// The write tears AND the repair truncate fails: the on-disk tail
+	// stays torn, so the log must refuse to write past it.
+	ff.Arm(1, fsx.Fault{TornBytes: 3, Freeze: true}, fsx.OpWrite, fsx.OpTruncate)
+	if err := l.Append(6, msg(5)); !errors.Is(err, fsx.ErrInjected) {
+		t.Fatalf("append err = %v, want injected write failure", err)
+	}
+	ff.Disarm()
+	if err := l.Append(6, msg(5)); err == nil {
+		t.Fatal("append accepted on a broken log")
+	}
+	// Truncate is refused too: sealing the torn file into a non-final
+	// position would make the next Open fail outright.
+	if err := l.Truncate(); err == nil {
+		t.Fatal("truncate accepted on a broken log")
+	}
+	l.Close()
+
+	// The torn tail sits in the final file, where Open repairs it.
+	l2, err := Open("wal", Options{FS: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs, _ := collect(t, l2, 0)
+	if len(seqs) != 5 {
+		t.Fatalf("replay = %v, want records 1..5", seqs)
+	}
+	if err := l2.Append(6, msg(5)); err != nil {
+		t.Fatalf("append after reopen: %v", err)
+	}
+}
+
+func TestTruncateRetriesAfterFailedStart(t *testing.T) {
+	mem := fsx.NewMem()
+	ff := fsx.NewFault(mem)
+	l, _ := Open("wal", Options{FS: ff})
+	appendN(t, l, 0, 6)
+	// The new file's header sync fails mid-Truncate; the half-created
+	// file must not block every later Truncate with O_EXCL debris.
+	ff.Arm(1, fsx.Fault{}, fsx.OpSync)
+	if err := l.Truncate(); !errors.Is(err, fsx.ErrInjected) {
+		t.Fatalf("truncate err = %v, want injected sync failure", err)
+	}
+	ff.Disarm()
+	// The old file is still live for appends, and Truncate works again.
+	appendN(t, l, 6, 8)
+	if err := l.Truncate(); err != nil {
+		t.Fatalf("truncate retry: %v", err)
+	}
+	appendN(t, l, 8, 10)
+	seqs, _ := collect(t, l, 8)
+	if len(seqs) != 2 || seqs[0] != 9 {
+		t.Fatalf("replay = %v", seqs)
+	}
+	l.Close()
+	names, _ := mem.ReadDir("wal")
+	if len(names) != 1 {
+		t.Fatalf("files after truncate retry = %v, want exactly one", names)
+	}
+}
+
+func TestTruncateReplacesDebrisFile(t *testing.T) {
+	mem := fsx.NewMem()
+	l, _ := Open("wal", Options{FS: mem})
+	appendN(t, l, 0, 4)
+	// Debris at the next file number (a predecessor's failed start whose
+	// removal also failed): Truncate must replace it, not EEXIST forever.
+	mem.WriteFile("wal/wal-000002.log", []byte("debris"))
+	if err := l.Truncate(); err != nil {
+		t.Fatalf("truncate over debris: %v", err)
+	}
+	appendN(t, l, 4, 6)
+	seqs, _ := collect(t, l, 4)
+	if len(seqs) != 2 || seqs[0] != 5 {
+		t.Fatalf("replay = %v", seqs)
+	}
+}
+
 func TestSyncErrorSurfacesOnAppend(t *testing.T) {
 	mem := fsx.NewMem()
 	ff := fsx.NewFault(mem)
