@@ -29,4 +29,23 @@ go test -race -count=1 ./internal/fsx ./internal/wal ./internal/storage
 echo "== crash torture =="
 go test -count=1 -run TestCrashTorture -v ./internal/pipeline | grep -E 'seed|PASS|FAIL|ok '
 
+# Observability loopback: a real provserve answers a real provload run
+# over localhost — non-zero throughput (provload exits 1 on zero 2xx)
+# and a well-formed /metrics scrape (provload errors on malformed
+# exposition lines) with the HTTP families present.
+echo "== provload vs provserve loopback =="
+obs_tmp="$(mktemp -d)"
+serve_pid=""
+trap '[ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null; rm -rf "$obs_tmp"' EXIT
+go build -o "$obs_tmp/provserve" ./cmd/provserve
+go build -o "$obs_tmp/provload" ./cmd/provload
+"$obs_tmp/provserve" -n 3000 -addr 127.0.0.1:18923 >"$obs_tmp/serve.log" 2>&1 &
+serve_pid=$!
+"$obs_tmp/provload" -target http://127.0.0.1:18923 -wait 15s \
+    -qps 300 -workers 8 -warmup 200ms -duration 2s | tee "$obs_tmp/load.out"
+grep -q 'provex_http_requests_total' "$obs_tmp/load.out" \
+    || { echo "loopback: HTTP metric families missing from the delta"; exit 1; }
+kill "$serve_pid"
+wait "$serve_pid" 2>/dev/null || true
+
 echo "CI OK"

@@ -1,0 +1,619 @@
+// Command provload drives a running provserve with a controlled HTTP
+// workload and reports throughput and latency percentiles — the load
+// half of the observability story (OBSERVABILITY.md): run provload
+// against a server, watch /metrics (or capture a pprof profile) while
+// it runs, and the before/after metrics delta it prints doubles as a
+// bottleneck report.
+//
+// Two pacing modes:
+//
+//   - open loop (-qps > 0): requests are dispatched on a fixed schedule
+//     regardless of how fast the server answers; when every worker is
+//     busy the tick is dropped and counted, so saturation shows up as
+//     shed load instead of silently stretching the schedule;
+//   - closed loop (-qps 0): -workers concurrent clients issue requests
+//     back-to-back, measuring the server's ceiling.
+//
+// The workload mixes /search, /prov, /bundle and /trending by weight
+// (-mix), drawing query strings from -queries (one per line) or a
+// built-in list matched to provserve's default generated dataset.
+// Bundle IDs are harvested from /prov responses on the fly, so /bundle
+// requests hit real bundles.
+//
+// Usage:
+//
+//	provload -qps 500 -duration 10s                         # paced, default mix
+//	provload -qps 0 -workers 32 -duration 30s               # closed-loop ceiling
+//	provload -target http://host:8080 -wait 15s -json       # wait for readiness, JSON report
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+type config struct {
+	target   string
+	qps      float64
+	workers  int
+	duration time.Duration
+	warmup   time.Duration
+	timeout  time.Duration
+	wait     time.Duration
+	mix      string
+	queries  string
+	seed     int64
+	jsonOut  bool
+}
+
+func main() {
+	cfg := config{}
+	flag.StringVar(&cfg.target, "target", "http://127.0.0.1:8080", "base URL of the provserve instance")
+	flag.Float64Var(&cfg.qps, "qps", 0, "open-loop target rate; 0 = closed loop (workers go back-to-back)")
+	flag.IntVar(&cfg.workers, "workers", 8, "concurrent client workers")
+	flag.DurationVar(&cfg.duration, "duration", 10*time.Second, "measured run length")
+	flag.DurationVar(&cfg.warmup, "warmup", time.Second, "untimed warmup before the measured run (also harvests bundle IDs)")
+	flag.DurationVar(&cfg.timeout, "timeout", 5*time.Second, "per-request timeout")
+	flag.DurationVar(&cfg.wait, "wait", 0, "poll the server for readiness up to this long before starting")
+	flag.StringVar(&cfg.mix, "mix", "search=5,prov=3,bundle=1,trending=1", "endpoint weights")
+	flag.StringVar(&cfg.queries, "queries", "", "query file, one query per line ('' = built-in list)")
+	flag.Int64Var(&cfg.seed, "seed", 1, "workload RNG seed")
+	flag.BoolVar(&cfg.jsonOut, "json", false, "emit the report as JSON instead of text")
+	flag.Parse()
+
+	rep, err := run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "provload: %v\n", err)
+		os.Exit(1)
+	}
+	if cfg.jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "provload: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		rep.writeText(os.Stdout)
+	}
+	if rep.ByClass["2xx"] == 0 {
+		fmt.Fprintln(os.Stderr, "provload: zero successful requests")
+		os.Exit(1)
+	}
+}
+
+// op is one weighted workload entry.
+type op struct {
+	name   string
+	weight int
+}
+
+// parseMix turns "search=5,prov=3" into a weighted op list.
+func parseMix(mix string) ([]op, error) {
+	known := map[string]bool{"search": true, "prov": true, "bundle": true, "trending": true, "stats": true}
+	var ops []op
+	total := 0
+	for _, part := range strings.Split(mix, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, w, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("mix entry %q: want name=weight", part)
+		}
+		weight, err := strconv.Atoi(w)
+		if err != nil || weight < 0 {
+			return nil, fmt.Errorf("mix entry %q: bad weight", part)
+		}
+		if !known[name] {
+			return nil, fmt.Errorf("mix entry %q: unknown endpoint", part)
+		}
+		ops = append(ops, op{name: name, weight: weight})
+		total += weight
+	}
+	if total == 0 {
+		return nil, errors.New("mix has zero total weight")
+	}
+	return ops, nil
+}
+
+// pick draws one op by weight.
+func pick(ops []op, rng *rand.Rand) string {
+	total := 0
+	for _, o := range ops {
+		total += o.weight
+	}
+	n := rng.Intn(total)
+	for _, o := range ops {
+		n -= o.weight
+		if n < 0 {
+			return o.name
+		}
+	}
+	return ops[len(ops)-1].name
+}
+
+// defaultQueries match the topical vocabulary of provserve's default
+// generated dataset (the samoa-tsunami event script).
+var defaultQueries = []string{
+	"tsunami samoa", "quake warning", "rescue coast", "tsunami warning",
+	"samoa", "quake", "coast rescue samoa",
+}
+
+func loadQueries(path string) ([]string, error) {
+	if path == "" {
+		return defaultQueries, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var qs []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		if line := strings.TrimSpace(sc.Text()); line != "" {
+			qs = append(qs, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(qs) == 0 {
+		return nil, fmt.Errorf("query file %s is empty", path)
+	}
+	return qs, nil
+}
+
+// idPool holds bundle IDs harvested from /prov responses, so /bundle
+// requests target bundles that actually exist.
+type idPool struct {
+	mu  sync.Mutex
+	ids []uint64
+}
+
+func (p *idPool) add(ids []uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, id := range ids {
+		if len(p.ids) >= 1024 {
+			return
+		}
+		p.ids = append(p.ids, id)
+	}
+}
+
+func (p *idPool) pick(rng *rand.Rand) uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.ids) == 0 {
+		return uint64(1 + rng.Intn(64)) // cold start: guess low IDs
+	}
+	return p.ids[rng.Intn(len(p.ids))]
+}
+
+func (p *idPool) sparse() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.ids) < 256
+}
+
+// sample is one completed request.
+type sample struct {
+	op   string
+	code int // 0 = transport error
+	d    time.Duration
+}
+
+// LatencySummary reports percentiles over one sample population.
+// Values are milliseconds.
+type LatencySummary struct {
+	Count int     `json:"count"`
+	P50Ms float64 `json:"p50_ms"`
+	P90Ms float64 `json:"p90_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
+}
+
+func summarize(lats []time.Duration) LatencySummary {
+	if len(lats) == 0 {
+		return LatencySummary{}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	q := func(p float64) float64 {
+		i := int(p * float64(len(lats)-1))
+		return float64(lats[i]) / 1e6
+	}
+	return LatencySummary{
+		Count: len(lats),
+		P50Ms: q(0.50), P90Ms: q(0.90), P99Ms: q(0.99),
+		MaxMs: float64(lats[len(lats)-1]) / 1e6,
+	}
+}
+
+// DeltaLine is one metrics series whose value changed across the run.
+type DeltaLine struct {
+	Series string  `json:"series"`
+	Delta  float64 `json:"delta"`
+}
+
+// Report is the full run result.
+type Report struct {
+	Target      string                    `json:"target"`
+	Mode        string                    `json:"mode"`
+	TargetQPS   float64                   `json:"target_qps,omitempty"`
+	Workers     int                       `json:"workers"`
+	DurationSec float64                   `json:"duration_sec"`
+	Requests    int                       `json:"requests"`
+	ByClass     map[string]int            `json:"by_class"`
+	Errors      int                       `json:"errors"`
+	Dropped     int64                     `json:"dropped,omitempty"`
+	Throughput  float64                   `json:"throughput_rps"`
+	Overall     LatencySummary            `json:"overall"`
+	Endpoints   map[string]LatencySummary `json:"endpoints"`
+	HasMetrics  bool                      `json:"has_metrics"`
+	Delta       []DeltaLine               `json:"metrics_delta,omitempty"`
+	HotStages   []DeltaLine               `json:"hot_stages,omitempty"`
+}
+
+func (r *Report) writeText(w io.Writer) {
+	fmt.Fprintf(w, "provload: target=%s mode=%s workers=%d", r.Target, r.Mode, r.Workers)
+	if r.Mode == "open" {
+		fmt.Fprintf(w, " target_qps=%g", r.TargetQPS)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "requests: %d (2xx=%d 3xx=%d 4xx=%d 5xx=%d errors=%d", r.Requests,
+		r.ByClass["2xx"], r.ByClass["3xx"], r.ByClass["4xx"], r.ByClass["5xx"], r.Errors)
+	if r.Dropped > 0 {
+		fmt.Fprintf(w, " dropped_ticks=%d", r.Dropped)
+	}
+	fmt.Fprintln(w, ")")
+	fmt.Fprintf(w, "throughput: %.1f req/s over %.1fs\n", r.Throughput, r.DurationSec)
+	fmt.Fprintf(w, "latency overall: %s\n", fmtSummary(r.Overall))
+	names := make([]string, 0, len(r.Endpoints))
+	for name := range r.Endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "  /%-9s %s\n", name, fmtSummary(r.Endpoints[name]))
+	}
+	if !r.HasMetrics {
+		fmt.Fprintln(w, "/metrics: unavailable on target (run provserve from this tree?)")
+		return
+	}
+	if len(r.HotStages) > 0 {
+		fmt.Fprintf(w, "hot stages (server-side seconds spent during the run):\n")
+		for _, d := range r.HotStages {
+			fmt.Fprintf(w, "  %-60s +%.3fs\n", d.Series, d.Delta)
+		}
+	}
+	// Histogram buckets are noise at text granularity (the _sum/_count
+	// and percentile lines carry the signal); -json keeps them all.
+	buckets := 0
+	for _, d := range r.Delta {
+		if strings.Contains(d.Series, "_bucket{") {
+			buckets++
+		}
+	}
+	fmt.Fprintf(w, "/metrics delta over the run (%d series changed; %d histogram buckets elided):\n",
+		len(r.Delta), buckets)
+	for _, d := range r.Delta {
+		if strings.Contains(d.Series, "_bucket{") {
+			continue
+		}
+		fmt.Fprintf(w, "  %-60s %+g\n", d.Series, d.Delta)
+	}
+}
+
+func fmtSummary(s LatencySummary) string {
+	return fmt.Sprintf("n=%-6d p50=%.2fms p90=%.2fms p99=%.2fms max=%.2fms",
+		s.Count, s.P50Ms, s.P90Ms, s.P99Ms, s.MaxMs)
+}
+
+// parseExposition reads Prometheus text format into series → value.
+// Malformed lines are errors: provload doubles as the CI check that a
+// live /metrics scrape is well-formed.
+func parseExposition(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if !strings.HasPrefix(line, "# HELP ") && !strings.HasPrefix(line, "# TYPE ") {
+				return nil, fmt.Errorf("malformed comment line %q", line)
+			}
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			return nil, fmt.Errorf("malformed sample line %q", line)
+		}
+		name, raw := line[:sp], line[sp+1:]
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value in %q: %v", line, err)
+		}
+		if i := strings.IndexByte(name, '{'); i >= 0 && !strings.HasSuffix(name, "}") {
+			return nil, fmt.Errorf("unterminated labels in %q", line)
+		}
+		out[name] = v
+	}
+	return out, sc.Err()
+}
+
+func scrape(client *http.Client, target string) (map[string]float64, error) {
+	resp, err := client.Get(target + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, nil // server without a registry; tolerated
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/metrics: status %d", resp.StatusCode)
+	}
+	return parseExposition(resp.Body)
+}
+
+// waitReady polls /stats until the server answers 200.
+func waitReady(client *http.Client, target string, wait time.Duration) error {
+	deadline := time.Now().Add(wait)
+	for {
+		resp, err := client.Get(target + "/stats")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+			err = fmt.Errorf("/stats: status %d", resp.StatusCode)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server not ready: %w", err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// loadgen owns one run's shared state.
+type loadgen struct {
+	cfg     config
+	client  *http.Client
+	ops     []op
+	queries []string
+	ids     idPool
+	dropped int64 // open-loop ticks shed because all workers were busy
+}
+
+// doOne issues a single request and returns its sample. /prov response
+// bodies are parsed (while the ID pool is sparse) to harvest real
+// bundle IDs for subsequent /bundle requests.
+func (g *loadgen) doOne(opName string, rng *rand.Rand) sample {
+	var path string
+	switch opName {
+	case "search":
+		path = "/search?k=10&q=" + url.QueryEscape(g.queries[rng.Intn(len(g.queries))])
+	case "prov":
+		path = "/prov?k=10&q=" + url.QueryEscape(g.queries[rng.Intn(len(g.queries))])
+	case "bundle":
+		path = "/bundle?id=" + strconv.FormatUint(g.ids.pick(rng), 10)
+	case "trending":
+		path = "/trending?k=10"
+	case "stats":
+		path = "/stats"
+	}
+	start := time.Now()
+	resp, err := g.client.Get(g.cfg.target + path)
+	if err != nil {
+		return sample{op: opName, code: 0, d: time.Since(start)}
+	}
+	defer resp.Body.Close()
+	if opName == "prov" && resp.StatusCode == http.StatusOK && g.ids.sparse() {
+		g.harvest(resp.Body)
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return sample{op: opName, code: resp.StatusCode, d: time.Since(start)}
+}
+
+// harvest pulls bundle IDs out of a /prov response body.
+func (g *loadgen) harvest(body io.Reader) {
+	var out struct {
+		Bundles []struct {
+			ID uint64 `json:"id"`
+		} `json:"bundles"`
+	}
+	if err := json.NewDecoder(body).Decode(&out); err != nil {
+		return
+	}
+	ids := make([]uint64, 0, len(out.Bundles))
+	for _, b := range out.Bundles {
+		ids = append(ids, b.ID)
+	}
+	g.ids.add(ids)
+}
+
+// phase runs the workload for d and returns the collected samples.
+// discard marks warmup: requests still fly (and harvest IDs) but no
+// samples are kept.
+func (g *loadgen) phase(d time.Duration, discard bool) []sample {
+	deadline := time.Now().Add(d)
+	perWorker := make([][]sample, g.cfg.workers)
+	var tokens chan struct{}
+	var pacerDone chan struct{}
+	if g.cfg.qps > 0 {
+		tokens = make(chan struct{}, g.cfg.workers)
+		pacerDone = make(chan struct{})
+		interval := time.Duration(float64(time.Second) / g.cfg.qps)
+		go func() {
+			defer close(pacerDone)
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			for now := range tick.C {
+				if now.After(deadline) {
+					return
+				}
+				select {
+				case tokens <- struct{}{}:
+				default:
+					if !discard {
+						g.dropped++
+					}
+				}
+			}
+		}()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < g.cfg.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(g.cfg.seed + int64(w)*7919))
+			for time.Now().Before(deadline) {
+				if tokens != nil {
+					select {
+					case _, ok := <-tokens:
+						if !ok {
+							return
+						}
+					case <-pacerDone:
+						return
+					}
+				}
+				s := g.doOne(pick(g.ops, rng), rng)
+				if !discard {
+					perWorker[w] = append(perWorker[w], s)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if pacerDone != nil {
+		<-pacerDone // join the pacer before dropped is read
+	}
+	var all []sample
+	for _, ws := range perWorker {
+		all = append(all, ws...)
+	}
+	return all
+}
+
+// run executes the full provload flow: readiness, before-scrape,
+// warmup, measured run, after-scrape, report.
+func run(cfg config) (*Report, error) {
+	ops, err := parseMix(cfg.mix)
+	if err != nil {
+		return nil, err
+	}
+	queries, err := loadQueries(cfg.queries)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.workers < 1 {
+		return nil, errors.New("need at least one worker")
+	}
+	g := &loadgen{
+		cfg:     cfg,
+		client:  &http.Client{Timeout: cfg.timeout},
+		ops:     ops,
+		queries: queries,
+	}
+	if cfg.wait > 0 {
+		if err := waitReady(g.client, cfg.target, cfg.wait); err != nil {
+			return nil, err
+		}
+	}
+	before, err := scrape(g.client, cfg.target)
+	if err != nil {
+		return nil, fmt.Errorf("before-scrape: %w", err)
+	}
+	if cfg.warmup > 0 {
+		g.phase(cfg.warmup, true)
+	}
+	start := time.Now()
+	samples := g.phase(cfg.duration, false)
+	elapsed := time.Since(start)
+	after, err := scrape(g.client, cfg.target)
+	if err != nil {
+		return nil, fmt.Errorf("after-scrape: %w", err)
+	}
+
+	rep := &Report{
+		Target:      cfg.target,
+		Mode:        "closed",
+		Workers:     cfg.workers,
+		DurationSec: elapsed.Seconds(),
+		Requests:    len(samples),
+		ByClass:     map[string]int{},
+		Dropped:     g.dropped,
+		Endpoints:   map[string]LatencySummary{},
+		HasMetrics:  after != nil,
+	}
+	if cfg.qps > 0 {
+		rep.Mode = "open"
+		rep.TargetQPS = cfg.qps
+	}
+	var overall []time.Duration
+	perOp := map[string][]time.Duration{}
+	for _, s := range samples {
+		if s.code == 0 {
+			rep.Errors++
+			continue
+		}
+		class := fmt.Sprintf("%dxx", s.code/100)
+		rep.ByClass[class]++
+		overall = append(overall, s.d)
+		perOp[s.op] = append(perOp[s.op], s.d)
+	}
+	rep.Throughput = float64(len(overall)) / elapsed.Seconds()
+	rep.Overall = summarize(overall)
+	for opName, lats := range perOp {
+		rep.Endpoints[opName] = summarize(lats)
+	}
+	if before != nil && after != nil {
+		rep.Delta, rep.HotStages = diffMetrics(before, after)
+	}
+	return rep, nil
+}
+
+// diffMetrics returns every series whose value changed, plus the
+// _seconds_sum series ranked by time spent — the server-side stages
+// that actually absorbed the run, i.e. the bottleneck candidates.
+func diffMetrics(before, after map[string]float64) (delta, hot []DeltaLine) {
+	for series, b := range after {
+		if d := b - before[series]; d != 0 {
+			delta = append(delta, DeltaLine{Series: series, Delta: d})
+		}
+	}
+	sort.Slice(delta, func(i, j int) bool { return delta[i].Series < delta[j].Series })
+	for _, d := range delta {
+		if strings.Contains(d.Series, "_seconds_sum") && d.Delta > 0 {
+			hot = append(hot, d)
+		}
+	}
+	sort.Slice(hot, func(i, j int) bool { return hot[i].Delta > hot[j].Delta })
+	if len(hot) > 5 {
+		hot = hot[:5]
+	}
+	return delta, hot
+}

@@ -1,0 +1,231 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestParseMix(t *testing.T) {
+	ops, err := parseMix("search=5,prov=3,bundle=1,trending=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 4 || ops[0].name != "search" || ops[0].weight != 5 {
+		t.Errorf("ops = %+v", ops)
+	}
+	for _, bad := range []string{"", "search", "search=x", "search=-1", "nosuch=1", "search=0,prov=0"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) accepted", bad)
+		}
+	}
+	// A zero-weight entry alongside a live one is fine and never picked.
+	ops, err = parseMix("search=1,prov=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 2 {
+		t.Fatalf("ops = %+v", ops)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	var lats []time.Duration
+	for i := 1; i <= 100; i++ {
+		lats = append(lats, time.Duration(i)*time.Millisecond)
+	}
+	s := summarize(lats)
+	if s.Count != 100 {
+		t.Errorf("count = %d", s.Count)
+	}
+	if s.P50Ms < 49 || s.P50Ms > 51 {
+		t.Errorf("p50 = %v", s.P50Ms)
+	}
+	if s.P99Ms < 98 || s.P99Ms > 100 {
+		t.Errorf("p99 = %v", s.P99Ms)
+	}
+	if s.MaxMs != 100 {
+		t.Errorf("max = %v", s.MaxMs)
+	}
+	if z := summarize(nil); z.Count != 0 || z.MaxMs != 0 {
+		t.Errorf("empty summary = %+v", z)
+	}
+}
+
+func TestParseExposition(t *testing.T) {
+	good := `# HELP provex_x_total Things.
+# TYPE provex_x_total counter
+provex_x_total 41
+provex_y{a="b"} 2.5
+`
+	m, err := parseExposition(strings.NewReader(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["provex_x_total"] != 41 || m[`provex_y{a="b"}`] != 2.5 {
+		t.Errorf("parsed = %v", m)
+	}
+	for _, bad := range []string{
+		"# BOGUS comment\n",
+		"noval\n",
+		"provex_x notanumber\n",
+		`provex_x{a="b 1` + "\n",
+	} {
+		if _, err := parseExposition(strings.NewReader(bad)); err == nil {
+			t.Errorf("parseExposition accepted %q", bad)
+		}
+	}
+}
+
+// stubServer imitates just enough of provserve for a smoke run: the
+// query endpoints answer canned JSON and /metrics exposes a counter
+// that tracks real request traffic, so the delta must come out nonzero.
+func stubServer(t *testing.T) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	mux := http.NewServeMux()
+	count := func(h http.HandlerFunc) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			hits.Add(1)
+			h(w, r)
+		}
+	}
+	mux.HandleFunc("/search", count(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"query":"q","hits":[]}`)
+	}))
+	mux.HandleFunc("/prov", count(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"query":"q","bundles":[{"id":7},{"id":9}]}`)
+	}))
+	mux.HandleFunc("/bundle", count(func(w http.ResponseWriter, r *http.Request) {
+		if id := r.URL.Query().Get("id"); id != "7" && id != "9" {
+			http.Error(w, `{"error":"not found"}`, http.StatusNotFound)
+			return
+		}
+		fmt.Fprint(w, `{"id":7,"nodes":[]}`)
+	}))
+	mux.HandleFunc("/trending", count(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"bundles":[]}`)
+	}))
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"messages":0}`)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "# HELP stub_requests_total Requests served.\n# TYPE stub_requests_total counter\nstub_requests_total %d\n", hits.Load())
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv, &hits
+}
+
+// TestRunSmoke drives the full run() flow against the stub: requests
+// flow, percentiles come out, and the /metrics delta reflects traffic.
+func TestRunSmoke(t *testing.T) {
+	srv, hits := stubServer(t)
+	rep, err := run(config{
+		target:   srv.URL,
+		qps:      0, // closed loop: fastest smoke
+		workers:  4,
+		duration: 300 * time.Millisecond,
+		warmup:   50 * time.Millisecond,
+		timeout:  2 * time.Second,
+		wait:     2 * time.Second,
+		mix:      "search=5,prov=3,bundle=1,trending=1",
+		seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ByClass["2xx"] == 0 {
+		t.Fatalf("no successful requests: %+v", rep)
+	}
+	if rep.Requests != rep.ByClass["2xx"]+rep.ByClass["3xx"]+rep.ByClass["4xx"]+rep.ByClass["5xx"]+rep.Errors {
+		t.Errorf("request accounting off: %+v", rep)
+	}
+	if rep.Overall.Count == 0 || rep.Overall.P99Ms < rep.Overall.P50Ms || rep.Overall.MaxMs < rep.Overall.P99Ms {
+		t.Errorf("percentiles inconsistent: %+v", rep.Overall)
+	}
+	if len(rep.Endpoints) == 0 {
+		t.Error("no per-endpoint summaries")
+	}
+	if !rep.HasMetrics {
+		t.Error("stub /metrics not scraped")
+	}
+	found := false
+	for _, d := range rep.Delta {
+		if d.Series == "stub_requests_total" && d.Delta > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("metrics delta missing stub counter (hits=%d): %+v", hits.Load(), rep.Delta)
+	}
+	var b strings.Builder
+	rep.writeText(&b)
+	for _, want := range []string{"throughput:", "p50=", "p99=", "/metrics delta"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("text report missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+// TestRunOpenLoop: the pacer caps throughput near the target rate.
+func TestRunOpenLoop(t *testing.T) {
+	srv, _ := stubServer(t)
+	rep, err := run(config{
+		target:   srv.URL,
+		qps:      200,
+		workers:  4,
+		duration: 500 * time.Millisecond,
+		timeout:  2 * time.Second,
+		mix:      "search=1",
+		seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "open" {
+		t.Errorf("mode = %q", rep.Mode)
+	}
+	// Loopback httptest answers in microseconds, so a closed loop would
+	// do tens of thousands of req/s; the pacer must hold it near 200.
+	if rep.Throughput > 400 {
+		t.Errorf("open loop did not pace: %.0f req/s", rep.Throughput)
+	}
+	if rep.ByClass["2xx"] == 0 {
+		t.Error("no successful requests")
+	}
+}
+
+// TestRunNoMetrics: a target without /metrics still produces a report.
+func TestRunNoMetrics(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/search", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"hits":[]}`)
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{}`)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	rep, err := run(config{
+		target:   srv.URL,
+		workers:  2,
+		duration: 100 * time.Millisecond,
+		timeout:  time.Second,
+		mix:      "search=1",
+		seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.HasMetrics {
+		t.Error("HasMetrics true without a /metrics endpoint")
+	}
+	if rep.ByClass["2xx"] == 0 {
+		t.Error("no successful requests")
+	}
+}

@@ -1,7 +1,10 @@
 // Command provserve hosts the demo site of the paper (Section V-C's
 // t.pku.edu.cn/tweet analogue): it loads or generates a dataset, builds
 // the provenance index, and serves message search, bundle search and
-// trail visualisation over HTTP.
+// trail visualisation over HTTP. Every run also exposes operational
+// telemetry at GET /metrics (Prometheus text exposition; see
+// OBSERVABILITY.md) and, with -pprof, runtime profiles under
+// /debug/pprof/.
 //
 // Usage:
 //
@@ -9,6 +12,7 @@
 //	provserve -in stream.jsonl -addr :8080      # serve an existing dataset
 //	provgen -n 0 | provserve -follow            # live ingest from stdin while serving
 //	provserve -in s.jsonl -ckpt engine.ckpt     # resume from/persist a checkpoint
+//	provserve -n 50000 -pprof                   # + /debug/pprof/ for provload runs
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"io/fs"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -26,6 +31,7 @@ import (
 
 	"provex/internal/core"
 	"provex/internal/gen"
+	"provex/internal/metrics"
 	"provex/internal/pipeline"
 	"provex/internal/query"
 	"provex/internal/server"
@@ -34,19 +40,22 @@ import (
 
 func main() {
 	var (
-		in     = flag.String("in", "", "input JSONL path ('' = generate -n messages; with -follow, '' = stdin)")
-		n      = flag.Int("n", 50_000, "messages to generate when -in is empty (ignored with -follow)")
-		seed   = flag.Int64("seed", 1, "generator seed")
-		addr   = flag.String("addr", ":8080", "listen address")
-		follow = flag.Bool("follow", false, "keep ingesting from the input while serving (live mode)")
-		ckpt   = flag.String("ckpt", "", "checkpoint path: resume from it when present, keep it updated while running")
-		walDir = flag.String("wal", "", "write-ahead log directory (live mode, requires -ckpt): crash-safe ingest — acknowledged messages survive a kill")
+		in       = flag.String("in", "", "input JSONL path ('' = generate -n messages; with -follow, '' = stdin)")
+		n        = flag.Int("n", 50_000, "messages to generate when -in is empty (ignored with -follow)")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		addr     = flag.String("addr", ":8080", "listen address")
+		follow   = flag.Bool("follow", false, "keep ingesting from the input while serving (live mode)")
+		ckpt     = flag.String("ckpt", "", "checkpoint path: resume from it when present, keep it updated while running")
+		walDir   = flag.String("wal", "", "write-ahead log directory (live mode, requires -ckpt): crash-safe ingest — acknowledged messages survive a kill")
+		pprofOn  = flag.Bool("pprof", false, "expose /debug/pprof/ runtime profiles (opt-in: costs CPU while sampling)")
+		logEvery = flag.Duration("log-every", 10*time.Second, "cadence of structured progress lines in live mode")
 	)
 	flag.Parse()
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, nil)))
 
 	src := openSource(*in, *n, *seed, *follow)
 	if *follow {
-		serveLive(src, *addr, *ckpt, *walDir)
+		serveLive(src, *addr, *ckpt, *walDir, *pprofOn, *logEvery)
 		return
 	}
 
@@ -56,16 +65,27 @@ func main() {
 	start := time.Now()
 	count := ingestAll(proc, src)
 	st := proc.Snapshot()
-	fmt.Fprintf(os.Stderr, "provserve: indexed %d messages into %d bundles in %.1fs\n",
-		count, st.BundlesLive, time.Since(start).Seconds())
+	slog.Info("indexed", "messages", count, "bundles", st.BundlesLive,
+		"seconds", fmt.Sprintf("%.1f", time.Since(start).Seconds()))
 	if *ckpt != "" {
 		if err := proc.Engine().SaveCheckpoint(nil, *ckpt); err != nil {
-			fail("checkpoint: %v", err)
+			fail("checkpoint", err)
 		}
-		fmt.Fprintf(os.Stderr, "provserve: checkpoint written to %s\n", *ckpt)
+		slog.Info("checkpoint written", "path", *ckpt)
 	}
-	fmt.Fprintf(os.Stderr, "provserve: listening on %s — try /prov?q=tsunami+samoa\n", *addr)
-	serveHTTP(*addr, server.New(proc), nil)
+	reg := metrics.NewRegistry()
+	proc.Engine().RegisterMetrics(reg)
+	slog.Info("listening", "addr", *addr, "try", "/prov?q=tsunami+samoa")
+	serveHTTP(*addr, server.New(proc, serverOptions(reg, *pprofOn)...), nil)
+}
+
+// serverOptions assembles the observability options every mode shares.
+func serverOptions(reg *metrics.Registry, pprofOn bool) []server.Option {
+	opts := []server.Option{server.WithRegistry(reg)}
+	if pprofOn {
+		opts = append(opts, server.WithPprof())
+	}
+	return opts
 }
 
 // buildProcessor restores from a checkpoint when one exists, otherwise
@@ -78,11 +98,11 @@ func buildProcessor(ckpt string) *query.Processor {
 		case errors.Is(err, fs.ErrNotExist):
 			// Fresh start; the checkpoint will be created on save.
 		case err != nil:
-			fail("restore %s: %v", ckpt, err)
+			fail("restore checkpoint", err, "path", ckpt)
 		default:
 			st := eng.Snapshot()
-			fmt.Fprintf(os.Stderr, "provserve: resumed from %s (%d messages, %d bundles)\n",
-				ckpt, st.Messages, st.BundlesLive)
+			slog.Info("resumed from checkpoint", "path", ckpt,
+				"messages", st.Messages, "bundles", st.BundlesLive)
 			// The baseline message index is not checkpointed; rebuild
 			// it from the restored pool so /search covers the full
 			// recovered history, not just post-resume messages.
@@ -112,18 +132,18 @@ func serveHTTP(addr string, h http.Handler, onShutdown func()) {
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errc:
-		fail("serve: %v", err)
+		fail("serve", err)
 	case sig := <-sigc:
-		fmt.Fprintf(os.Stderr, "provserve: %v — draining\n", sig)
+		slog.Info("draining", "signal", sig.String())
 		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
-			fmt.Fprintf(os.Stderr, "provserve: http shutdown: %v\n", err)
+			slog.Error("http shutdown", "err", err)
 		}
 		if onShutdown != nil {
 			onShutdown()
 		}
-		fmt.Fprintln(os.Stderr, "provserve: clean exit")
+		slog.Info("clean exit")
 	}
 }
 
@@ -132,7 +152,7 @@ func openSource(in string, n int, seed int64, follow bool) stream.Source {
 	case in != "":
 		f, err := os.Open(in)
 		if err != nil {
-			fail("open %s: %v", in, err)
+			fail("open input", err, "path", in)
 		}
 		return stream.NewJSONLReader(f)
 	case follow:
@@ -158,7 +178,7 @@ func ingestAll(proc *query.Processor, src stream.Source) int {
 			return count
 		}
 		if err != nil {
-			fail("read: %v", err)
+			fail("read", err)
 		}
 		proc.Insert(m)
 		count++
@@ -170,14 +190,15 @@ func ingestAll(proc *query.Processor, src stream.Source) int {
 // With both -ckpt and -wal the ingest path is crash-safe: every
 // message is WAL-appended before it is applied, and a kill at any
 // point recovers to checkpoint + WAL replay on the next start.
-func serveLive(src stream.Source, addr, ckpt, walDir string) {
+func serveLive(src stream.Source, addr, ckpt, walDir string, pprofOn bool, logEvery time.Duration) {
 	cfg := core.FullIndexConfig()
 	opts := pipeline.Options{}
+	reg := metrics.NewRegistry()
 	var proc *query.Processor
 	var dur *pipeline.Durable
 	switch {
 	case walDir != "" && ckpt == "":
-		fail("-wal requires -ckpt")
+		fail("flags", errors.New("-wal requires -ckpt"))
 	case walDir != "":
 		var err error
 		dur, err = pipeline.OpenDurable(cfg, nil, nil, pipeline.DurableOptions{
@@ -186,17 +207,17 @@ func serveLive(src stream.Source, addr, ckpt, walDir string) {
 			WALSyncEvery:   64,
 		})
 		if err != nil {
-			fail("durable open: %v", err)
+			fail("durable open", err)
 		}
 		if st := dur.Engine().Snapshot(); st.Messages > 0 {
-			fmt.Fprintf(os.Stderr, "provserve: recovered %d messages (%d replayed from WAL)\n",
-				st.Messages, dur.Replayed())
+			slog.Info("recovered", "messages", st.Messages, "wal_replayed", dur.Replayed())
 		}
 		proc = query.New(dur.Engine(), query.DefaultOptions())
 		// Recovery bypassed the processor, so rebuild the baseline
 		// message index from the recovered pool — /search answers over
 		// the full recovered history, not just post-resume messages.
 		proc.Reindex()
+		dur.RegisterMetrics(reg)
 		opts.Durable = dur
 		opts.CheckpointEvery = 50_000
 	default:
@@ -206,7 +227,9 @@ func serveLive(src stream.Source, addr, ckpt, walDir string) {
 			opts.CheckpointPath = ckpt
 		}
 	}
+	proc.Engine().RegisterMetrics(reg)
 	svc := pipeline.New(proc, opts)
+	svc.RegisterMetrics(reg)
 	svc.Start()
 
 	go func() {
@@ -214,47 +237,58 @@ func serveLive(src stream.Source, addr, ckpt, walDir string) {
 			m, err := src.Next()
 			if err == io.EOF {
 				if err := svc.Stop(); err != nil {
-					fail("pipeline: %v", err)
+					fail("pipeline", err)
 				}
-				fmt.Fprintf(os.Stderr, "provserve: input drained after %d messages; still serving\n", svc.Ingested())
+				slog.Info("input drained, still serving", "messages", svc.Ingested())
 				return
 			}
 			if err != nil {
-				fail("read: %v", err)
+				fail("read", err)
 			}
 			if err := svc.Submit(m); err != nil {
 				if errors.Is(err, pipeline.ErrClosed) {
 					return // shutdown raced the feed; drop the rest
 				}
-				fail("submit: %v", err)
+				fail("submit", err)
 			}
 		}
 	}()
 
+	// Structured progress heartbeat: the same numbers /metrics exports,
+	// logged on a cadence so a terminal tail shows where ingest stands.
 	go func() {
-		for range time.Tick(10 * time.Second) {
+		for range time.Tick(logEvery) {
 			st := svc.Snapshot()
-			fmt.Fprintf(os.Stderr, "provserve: live %d messages, %d bundles, %.1f MB\n",
-				st.Messages, st.BundlesLive, float64(st.MemTotal())/(1<<20))
+			attrs := []any{
+				"messages", st.Messages,
+				"bundles", st.BundlesLive,
+				"mem_mb", fmt.Sprintf("%.1f", float64(st.MemTotal())/(1<<20)),
+				"checkpoints", svc.Checkpoints(),
+			}
+			if st.Degraded() {
+				attrs = append(attrs, "flush_parked", st.FlushParked, "flush_dropped", st.FlushDropped)
+			}
+			slog.Info("live", attrs...)
 		}
 	}()
 
-	fmt.Fprintf(os.Stderr, "provserve: live mode on %s\n", addr)
-	serveHTTP(addr, server.New(svc), func() {
+	slog.Info("live mode", "addr", addr, "durable", dur != nil)
+	serveHTTP(addr, server.New(svc, serverOptions(reg, pprofOn)...), func() {
 		// Stop drains the ingest queue and writes the final checkpoint
 		// (which also truncates the WAL in durable mode).
 		if err := svc.Stop(); err != nil {
-			fmt.Fprintf(os.Stderr, "provserve: pipeline: %v\n", err)
+			slog.Error("pipeline stop", "err", err)
 		}
 		if dur != nil {
 			if err := dur.Close(); err != nil {
-				fmt.Fprintf(os.Stderr, "provserve: wal close: %v\n", err)
+				slog.Error("wal close", "err", err)
 			}
 		}
 	})
 }
 
-func fail(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, "provserve: "+format+"\n", args...)
+// fail logs a fatal error with structured context and exits non-zero.
+func fail(msg string, err error, attrs ...any) {
+	slog.Error(msg, append([]any{"err", err}, attrs...)...)
 	os.Exit(1)
 }

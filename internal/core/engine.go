@@ -233,6 +233,10 @@ type Engine struct {
 	edges      metrics.Counter
 	connCounts [5]metrics.Counter
 
+	// gHist observes the Eq. 6 score of ranked pool evictions (wired
+	// into the pool at construction, exposed via RegisterMetrics).
+	gHist *metrics.Histogram
+
 	flushErr error // first permanent storage loss, surfaced by Err
 
 	// Flush retry queue: bundles whose Put to the disk back-end failed,
@@ -264,7 +268,52 @@ func New(cfg Config, store *storage.Store, onEdge EdgeFunc) *Engine {
 	e := &Engine{cfg: cfg, index: sumindex.New(), store: store, onEdge: onEdge}
 	e.index.SetMaxFanout(cfg.MaxFanout)
 	e.pool = pool.New(cfg.Pool, e.evict)
+	// Milli-G buckets from 0.1 G to 1000 G (G ≈ hours of quiet age).
+	e.gHist = metrics.NewHistogram(
+		100, 250, 500, 1_000, 2_500, 5_000, 10_000,
+		25_000, 50_000, 100_000, 250_000, 500_000, 1_000_000)
+	e.pool.SetGScoreHistogram(e.gHist)
 	return e
+}
+
+// RegisterMetrics exposes the engine's always-on instruments on reg
+// under canonical provex_* names (documented in OBSERVABILITY.md).
+// Every instrument registered here is atomic (counters, stage timers)
+// or internally locked (the G-score histogram), so a scrape may render
+// them while the single ingest goroutine writes. State that is NOT
+// atomically readable — pool occupancy, memory estimates, the flush
+// retry queue — is intentionally absent: the HTTP layer exports it from
+// lock-guarded Stats snapshots instead (see server.New).
+func (e *Engine) RegisterMetrics(reg *metrics.Registry) {
+	reg.RegisterCounter("provex_ingest_messages_total",
+		"Messages ingested (Algorithm 1 applications).", &e.messages)
+	reg.RegisterCounter("provex_ingest_edges_total",
+		"Provenance edges discovered between messages.", &e.edges)
+	for c := score.ConnText; c <= score.ConnRT; c++ {
+		reg.RegisterCounter("provex_ingest_connections_total",
+			"Provenance edges by connection type (Table II).",
+			&e.connCounts[c], "conn", c.String())
+	}
+	for _, s := range []struct {
+		stage string
+		t     *metrics.StageTimer
+	}{
+		{"prepare", &e.prepTimer},
+		{"match", &e.matchTimer},
+		{"place", &e.placeTimer},
+		{"refine", &e.refineTimer},
+	} {
+		reg.RegisterTimer("provex_ingest_stage_seconds",
+			"Cumulative ingest time per Algorithm 1 stage (Figure 13's match/placement/refinement split; prepare is the parallel tokenize stage).",
+			s.t, "stage", s.stage)
+	}
+	reg.RegisterCounter("provex_flush_retries_total",
+		"Re-attempted bundle flushes after a storage failure.", &e.flushRetries)
+	reg.RegisterCounter("provex_flush_dropped_total",
+		"Bundles permanently lost after exhausting flush retries.", &e.flushDropped)
+	reg.RegisterHistogram("provex_pool_eviction_g_score",
+		"Equation 6 eviction score G(B) of ranked refinement victims (unit: G, i.e. hours of quiet age + 1/|B|).",
+		e.gHist, 1000)
 }
 
 // SetKeywordClass toggles the summary index's keyword class (ablation).

@@ -12,6 +12,19 @@
 //     to its last-synced image);
 //   - FaultFS: a wrapper that injects failures into another FS on the
 //     Nth matching operation (error, short/torn write, frozen image).
+//
+// Concurrency contract: MemFS and FaultFS are internally locked and
+// safe for concurrent use from multiple goroutines; OS delegates to
+// package os and inherits its guarantees. Individual File handles are
+// NOT synchronized — like *os.File, a handle belongs to one goroutine
+// at a time (the durability layer's single-writer discipline upholds
+// this).
+//
+// Durability contract: bytes written but not Synced are volatile —
+// MemFS.Crash discards them, modelling a power loss with a dirty page
+// cache. Rename is modelled as atomic and immediately durable — the
+// journalled-filesystem ordering the atomic-checkpoint pattern
+// (write tmp, sync, rename) relies on.
 package fsx
 
 import (

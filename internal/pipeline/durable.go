@@ -21,6 +21,7 @@ import (
 
 	"provex/internal/core"
 	"provex/internal/fsx"
+	"provex/internal/metrics"
 	"provex/internal/storage"
 	"provex/internal/tweet"
 	"provex/internal/wal"
@@ -96,6 +97,18 @@ func OpenDurable(cfg core.Config, store *storage.Store, onEdge core.EdgeFunc, op
 
 // Engine exposes the recovered engine.
 func (d *Durable) Engine() *core.Engine { return d.eng }
+
+// RegisterMetrics exposes the durability layer's instruments on reg:
+// the WAL's append/fsync/size series plus the replay count from the
+// last recovery. Registering the engine's own metrics is the caller's
+// choice (Engine().RegisterMetrics) — the split keeps memory-only and
+// durable deployments symmetrical.
+func (d *Durable) RegisterMetrics(reg *metrics.Registry) {
+	d.wal.RegisterMetrics(reg)
+	reg.RegisterGaugeFunc("provex_wal_replayed_messages",
+		"Messages recovered from the WAL at the last open (work a crash would have lost without the log).",
+		func() float64 { return float64(d.replayed) })
+}
 
 // Replayed reports how many messages the WAL contributed at open —
 // the work a crash would have lost without the log.

@@ -10,15 +10,25 @@
 // state is written to CheckpointPath via an atomic temp-file rename, so
 // a crashed process can resume from the last checkpoint without
 // re-ingesting the stream.
+//
+// Concurrency contract: Submit is safe from any goroutine (it only
+// feeds the queue); Start and Stop must not race each other; all query
+// methods take the service's read lock and may run concurrently with
+// ingest. RegisterMetrics may be called before Start; the series it
+// registers are scrape-safe at any time — counters are atomics, and
+// lock-guarded values are read through funcs that take the read lock
+// per render.
 package pipeline
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"provex/internal/bundle"
 	"provex/internal/core"
+	"provex/internal/metrics"
 	"provex/internal/query"
 	"provex/internal/trending"
 	"provex/internal/tweet"
@@ -72,6 +82,32 @@ type Service struct {
 	ckptErr   error
 	ckptCount int
 	walErr    error
+
+	// ckptTimer accumulates checkpoint wall time (drain + store sync +
+	// atomic write + WAL truncate). Atomic, so scrapes read it live.
+	ckptTimer metrics.StageTimer
+}
+
+// RegisterMetrics exposes the service's instruments on reg under
+// canonical provex_pipeline_* names (documented in OBSERVABILITY.md).
+// The *Func series take the service's read lock at render time, so a
+// scrape briefly queues behind the writer like any query does.
+func (s *Service) RegisterMetrics(reg *metrics.Registry) {
+	reg.RegisterCounterFunc("provex_pipeline_ingested_total",
+		"Messages applied by the ingest writer.",
+		func() float64 { return float64(s.Ingested()) })
+	reg.RegisterCounterFunc("provex_pipeline_checkpoints_total",
+		"Durable checkpoints written.",
+		func() float64 { return float64(s.Checkpoints()) })
+	reg.RegisterTimer("provex_pipeline_checkpoint_seconds",
+		"Cumulative checkpoint time (retry drain, store sync, atomic write, WAL truncate).",
+		&s.ckptTimer)
+	reg.RegisterGaugeFunc("provex_pipeline_queue_depth",
+		"Messages waiting in the ingest queue (capacity reached = producers blocked on backpressure).",
+		func() float64 { return float64(len(s.in)) })
+	reg.RegisterGaugeFunc("provex_pipeline_queue_capacity",
+		"Capacity of the ingest queue.",
+		func() float64 { return float64(cap(s.in)) })
 }
 
 // New builds a Service around proc. Call Start before Submit.
@@ -157,6 +193,8 @@ func (s *Service) apply(p core.Prepared) {
 // checkpoint writes engine state to disk atomically. Only the writer
 // goroutine calls it. Failures are latched and surfaced by Err.
 func (s *Service) checkpoint() {
+	start := time.Now()
+	defer func() { s.ckptTimer.Observe(time.Since(start)) }()
 	if d := s.opts.Durable; d != nil {
 		// Draining parked flushes mutates the engine: write lock.
 		s.mu.Lock()

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"provex/internal/bundle"
+	"provex/internal/metrics"
 	"provex/internal/score"
 )
 
@@ -104,7 +105,17 @@ type Pool struct {
 	onEvict EvictFunc
 	inserts int
 	stats   Stats
+	gHist   *metrics.Histogram // optional: Eq. 6 scores of ranked evictions
 }
+
+// SetGScoreHistogram registers a histogram that observes the Equation 6
+// eviction score of every second-stage (ranked) eviction victim, in
+// milli-G units (G × 1000, G measured in hours + 1/|B|). The
+// distribution shows how aggressively refinement digs into the pool: a
+// mass near zero means fresh, large bundles are being flushed — the
+// pool limit is too tight for the stream. The histogram carries its own
+// lock, so a metrics scrape may read it while refinement writes.
+func (p *Pool) SetGScoreHistogram(h *metrics.Histogram) { p.gHist = h }
 
 // New creates a pool with the given policy and eviction hook (which may
 // be nil when the caller does not track evictions).
@@ -271,5 +282,8 @@ func (p *Pool) refine(now time.Time) {
 		p.onEvict(rb.b, EvictRanked, true)
 		p.stats.FlushedRanked++
 		count++
+		if p.gHist != nil {
+			p.gHist.Observe(int64(rb.g * 1000))
+		}
 	}
 }

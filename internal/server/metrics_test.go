@@ -1,0 +1,212 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"provex/internal/core"
+	"provex/internal/metrics"
+	"provex/internal/query"
+	"provex/internal/tweet"
+)
+
+func newMetricsServer(t *testing.T) (*httptest.Server, *metrics.Registry) {
+	t.Helper()
+	eng := core.New(core.FullIndexConfig(), nil, nil)
+	proc := query.New(eng, query.DefaultOptions())
+	base := time.Date(2009, 9, 17, 2, 0, 0, 0, time.UTC)
+	proc.Insert(tweet.Parse(1, "wharman", base, "Lester down #redsox"))
+	proc.Insert(tweet.Parse(2, "amaliebenjamin", base.Add(time.Minute),
+		"Lester getting an ovation from the #yankee crowd #redsox"))
+	reg := metrics.NewRegistry()
+	eng.RegisterMetrics(reg)
+	srv := httptest.NewServer(New(proc, WithRegistry(reg)))
+	t.Cleanup(srv.Close)
+	return srv, reg
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestMetricsEndpoint checks the live exposition: correct content type,
+// engine series present, and the HTTP middleware counting the requests
+// that produced it.
+func TestMetricsEndpoint(t *testing.T) {
+	srv, _ := newMetricsServer(t)
+	if code, _ := get(t, srv.URL+"/search?q=lester"); code != 200 {
+		t.Fatalf("search = %d", code)
+	}
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") || !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("content type %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE provex_http_requests_total counter",
+		`provex_http_requests_total{code="2xx",path="/search"} 1`,
+		`provex_http_request_duration_seconds_count{path="/search"} 1`,
+		"# TYPE provex_ingest_stage_seconds summary",
+		`provex_ingest_stage_seconds_count{stage="match"} 2`,
+		"provex_ingest_messages_total 2",
+		"provex_pool_bundles_live 1",
+		"provex_http_in_flight_requests 1", // the /metrics request itself
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestMiddlewareConcurrent hammers endpoints from many goroutines and
+// asserts every request landed exactly once in the counters and the
+// latency histogram, with the in-flight gauge back at zero.
+func TestMiddlewareConcurrent(t *testing.T) {
+	srv, reg := newMetricsServer(t)
+	const workers, perWorker = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				resp, err := http.Get(srv.URL + "/search?q=lester")
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	var b strings.Builder
+	if err := reg.Expose(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	total := workers * perWorker
+	if want := `provex_http_requests_total{code="2xx",path="/search"} ` + strconv.Itoa(total); !strings.Contains(text, want+"\n") {
+		t.Errorf("missing %q in:\n%s", want, grepLines(text, "requests_total"))
+	}
+	if want := `provex_http_request_duration_seconds_count{path="/search"} ` + strconv.Itoa(total); !strings.Contains(text, want+"\n") {
+		t.Errorf("missing %q in:\n%s", want, grepLines(text, "duration_seconds_count"))
+	}
+	if !strings.Contains(text, "provex_http_in_flight_requests 0\n") {
+		t.Errorf("in-flight gauge not back to zero:\n%s", grepLines(text, "in_flight"))
+	}
+}
+
+func grepLines(text, substr string) string {
+	var out []string
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, substr) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+// TestMethodNotAllowed checks every endpoint rejects non-GET methods
+// uniformly: 405, an Allow header, and a JSON error body.
+func TestMethodNotAllowed(t *testing.T) {
+	srv, _ := newMetricsServer(t)
+	for _, path := range []string{"/", "/search?q=x", "/prov?q=x", "/bundle?id=1", "/stats", "/trending", "/metrics"} {
+		for _, method := range []string{http.MethodPost, http.MethodPut, http.MethodDelete, http.MethodHead} {
+			req, err := http.NewRequest(method, srv.URL+path, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusMethodNotAllowed {
+				t.Errorf("%s %s = %d, want 405", method, path, resp.StatusCode)
+			}
+			if allow := resp.Header.Get("Allow"); allow != http.MethodGet {
+				t.Errorf("%s %s: Allow = %q, want GET", method, path, allow)
+			}
+			if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+				t.Errorf("%s %s: Content-Type = %q", method, path, ct)
+			}
+			if method != http.MethodHead && !strings.Contains(string(body), "error") {
+				t.Errorf("%s %s: missing error body %q", method, path, body)
+			}
+		}
+	}
+}
+
+// TestMethodNotAllowedCounted: a 405 is traffic and must land in the
+// 4xx class of the endpoint it probed.
+func TestMethodNotAllowedCounted(t *testing.T) {
+	srv, reg := newMetricsServer(t)
+	resp, err := http.Post(srv.URL+"/search", "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	var b strings.Builder
+	if err := reg.Expose(&b); err != nil {
+		t.Fatal(err)
+	}
+	if want := `provex_http_requests_total{code="4xx",path="/search"} 1`; !strings.Contains(b.String(), want+"\n") {
+		t.Errorf("405 not counted: %s", grepLines(b.String(), "4xx"))
+	}
+}
+
+// TestNoRegistryNoMetricsEndpoint: without WithRegistry the /metrics
+// path does not exist but method checking still applies everywhere.
+func TestNoRegistryNoMetricsEndpoint(t *testing.T) {
+	proc := query.New(core.New(core.FullIndexConfig(), nil, nil), query.DefaultOptions())
+	srv := httptest.NewServer(New(proc))
+	defer srv.Close()
+	if code, _ := get(t, srv.URL+"/metrics"); code != http.StatusNotFound {
+		t.Errorf("/metrics without registry = %d, want 404", code)
+	}
+	resp, err := http.Post(srv.URL+"/stats", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /stats = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestPprofOptIn: the profile index answers only when WithPprof is set.
+func TestPprofOptIn(t *testing.T) {
+	proc := query.New(core.New(core.FullIndexConfig(), nil, nil), query.DefaultOptions())
+	with := httptest.NewServer(New(proc, WithPprof()))
+	defer with.Close()
+	if code, body := get(t, with.URL+"/debug/pprof/"); code != 200 || !strings.Contains(body, "profile") {
+		t.Errorf("pprof index = %d", code)
+	}
+	without := httptest.NewServer(New(proc))
+	defer without.Close()
+	if code, _ := get(t, without.URL+"/debug/pprof/"); code != http.StatusNotFound {
+		t.Errorf("pprof without opt-in = %d, want 404", code)
+	}
+}

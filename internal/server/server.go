@@ -1,15 +1,37 @@
 // Package server exposes the query module over HTTP — the analogue of
 // the paper's demo site (t.pku.edu.cn/tweet): conventional message
 // search, provenance bundle search, bundle trail visualisation and
-// engine statistics, all as JSON plus a minimal HTML landing page.
+// engine statistics, all as JSON plus a minimal HTML landing page and
+// an optional Prometheus-format metrics endpoint.
 //
-// Endpoints:
+// Endpoints (all GET-only; other methods get 405 with an Allow header):
 //
 //	GET /               — landing page with usage
 //	GET /search?q=&k=   — Figure 1: ranked individual messages
 //	GET /prov?q=&k=     — Figure 2(a): ranked provenance bundles
 //	GET /bundle?id=     — Figure 2(b)/10: one bundle's trail as JSON
-//	GET /stats          — engine snapshot
+//	GET /trending?k=    — hot bundles right now
+//	GET /stats          — engine snapshot as JSON
+//	GET /metrics        — Prometheus text exposition (WithRegistry only)
+//	GET /debug/pprof/*  — runtime profiles (WithPprof only)
+//
+// Concurrency contract: a Server owns no state of its own beyond its
+// metrics instruments — every handler is a stateless translation
+// between HTTP and the Backend, so the mux serves any number of
+// requests concurrently and thread safety is entirely the Backend's
+// contract. *pipeline.Service answers queries under its read lock
+// while its single writer ingests; *query.Processor is safe only once
+// ingest has finished (the build-then-serve mode). The metrics
+// middleware uses atomic instruments and internally locked histograms,
+// adding no shared mutable state of its own.
+//
+// With WithRegistry the server also becomes the metrics aggregation
+// point: per-endpoint request counters, an in-flight gauge and latency
+// histograms are registered at construction (so every series exists
+// from the first scrape, traffic or not), and a render-time collector
+// snapshots Backend.Snapshot() once per scrape to publish the
+// lock-guarded engine gauges (pool occupancy, memory estimates, flush
+// parking) that the hot-path instruments cannot expose atomically.
 package server
 
 import (
@@ -17,11 +39,13 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"time"
 
 	"provex/internal/bundle"
 	"provex/internal/core"
+	"provex/internal/metrics"
 	"provex/internal/query"
 	"provex/internal/storage"
 	"provex/internal/trending"
@@ -42,18 +66,193 @@ type Backend interface {
 type Server struct {
 	backend Backend
 	mux     *http.ServeMux
+
+	reg      *metrics.Registry
+	pprof    bool
+	inFlight *metrics.Gauge
+}
+
+// Option customises a Server.
+type Option func(*Server)
+
+// WithRegistry instruments every endpoint (request counters by status
+// class, latency histograms, an in-flight gauge), registers the
+// backend's snapshot-derived gauges, and serves the whole registry at
+// GET /metrics in Prometheus text exposition format.
+func WithRegistry(reg *metrics.Registry) Option {
+	return func(s *Server) { s.reg = reg }
+}
+
+// WithPprof mounts net/http/pprof's handlers under /debug/pprof/ on the
+// server's own mux (the server never uses http.DefaultServeMux). Opt-in
+// because profiles expose internals and cost CPU while sampling.
+func WithPprof() Option {
+	return func(s *Server) { s.pprof = true }
 }
 
 // New builds a Server.
-func New(backend Backend) *Server {
+func New(backend Backend, opts ...Option) *Server {
 	s := &Server{backend: backend, mux: http.NewServeMux()}
-	s.mux.HandleFunc("/", s.handleIndex)
-	s.mux.HandleFunc("/search", s.handleSearch)
-	s.mux.HandleFunc("/prov", s.handleProv)
-	s.mux.HandleFunc("/bundle", s.handleBundle)
-	s.mux.HandleFunc("/stats", s.handleStats)
-	s.mux.HandleFunc("/trending", s.handleTrending)
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.reg != nil {
+		s.inFlight = s.reg.Gauge("provex_http_in_flight_requests",
+			"Requests currently being handled.")
+		registerBackendMetrics(s.reg, backend)
+	}
+	s.handle("/", s.handleIndex)
+	s.handle("/search", s.handleSearch)
+	s.handle("/prov", s.handleProv)
+	s.handle("/bundle", s.handleBundle)
+	s.handle("/stats", s.handleStats)
+	s.handle("/trending", s.handleTrending)
+	if s.reg != nil {
+		s.handle("/metrics", s.handleMetrics)
+	}
+	if s.pprof {
+		// pprof handlers stay uninstrumented: profile downloads run for
+		// tens of seconds by design and would dominate every latency
+		// histogram they land in.
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s
+}
+
+// latencyBounds bucket endpoint latency from 100µs to 10s.
+var latencyBounds = []time.Duration{
+	100 * time.Microsecond, 250 * time.Microsecond, 500 * time.Microsecond,
+	time.Millisecond, 2500 * time.Microsecond, 5 * time.Millisecond,
+	10 * time.Millisecond, 25 * time.Millisecond, 50 * time.Millisecond,
+	100 * time.Millisecond, 250 * time.Millisecond, 500 * time.Millisecond,
+	time.Second, 2500 * time.Millisecond, 5 * time.Second, 10 * time.Second,
+}
+
+// statusClasses are the response-class labels of the request counter.
+// All four are registered eagerly so scrapes see a stable series set.
+var statusClasses = [4]string{"2xx", "3xx", "4xx", "5xx"}
+
+// endpointMetrics is the per-path instrument set of the middleware.
+type endpointMetrics struct {
+	classes  [4]*metrics.Counter
+	duration *metrics.Histogram
+}
+
+func newEndpointMetrics(reg *metrics.Registry, path string) *endpointMetrics {
+	em := &endpointMetrics{}
+	for i, class := range statusClasses {
+		em.classes[i] = reg.Counter("provex_http_requests_total",
+			"HTTP requests by endpoint and status class.",
+			"path", path, "code", class)
+	}
+	em.duration = reg.DurationHistogram("provex_http_request_duration_seconds",
+		"HTTP request latency by endpoint.", latencyBounds, "path", path)
+	return em
+}
+
+// observe records one finished request.
+func (em *endpointMetrics) observe(code int, d time.Duration) {
+	em.duration.Observe(int64(d))
+	if i := code/100 - 2; i >= 0 && i < len(em.classes) {
+		em.classes[i].Inc()
+	}
+}
+
+// statusWriter captures the response status for the middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// handle mounts h at path behind the shared middleware: every endpoint
+// uniformly rejects non-GET methods with 405 plus an Allow header, and
+// when a registry is configured the request is counted, timed and
+// tracked in-flight (405s included — probing with the wrong method is
+// traffic too).
+func (s *Server) handle(path string, h http.HandlerFunc) {
+	checked := func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			httpError(w, http.StatusMethodNotAllowed, "method %s not allowed, use GET", r.Method)
+			return
+		}
+		h(w, r)
+	}
+	if s.reg == nil {
+		s.mux.HandleFunc(path, checked)
+		return
+	}
+	em := newEndpointMetrics(s.reg, path)
+	s.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+		s.inFlight.Add(1)
+		defer s.inFlight.Add(-1)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		checked(sw, r)
+		em.observe(sw.code, time.Since(start))
+	})
+}
+
+// handleMetrics renders the registry in text exposition format 0.0.4.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.Expose(w); err != nil {
+		// Headers already sent; the scrape is torn and the client's
+		// parser will reject it.
+		_ = err
+	}
+}
+
+// registerBackendMetrics publishes the lock-guarded half of the engine
+// snapshot — the values the hot path cannot expose atomically. One
+// collector snapshots the backend per scrape (Backend.Snapshot applies
+// whatever locking the backend requires); the registered funcs then
+// read the captured copy, all under the registry's render lock.
+func registerBackendMetrics(reg *metrics.Registry, backend Backend) {
+	var st core.Stats
+	reg.AddCollector(func() { st = backend.Snapshot() })
+	reg.RegisterGaugeFunc("provex_pool_bundles_live",
+		"Bundles currently in the in-memory pool.",
+		func() float64 { return float64(st.BundlesLive) })
+	reg.RegisterGaugeFunc("provex_pool_messages_in_memory",
+		"Messages held by pooled bundles (Figure 11(b)'s memory metric).",
+		func() float64 { return float64(st.MessagesInMemory) })
+	reg.RegisterCounterFunc("provex_pool_bundles_created_total",
+		"Bundles ever created.",
+		func() float64 { return float64(st.Pool.Created) })
+	reg.RegisterCounterFunc("provex_pool_refines_total",
+		"Refinement passes run (Algorithm 3).",
+		func() float64 { return float64(st.Pool.Refines) })
+	for _, ev := range []struct {
+		reason string
+		count  func() float64
+	}{
+		{"aging-tiny", func() float64 { return float64(st.Pool.DeletedTiny) }},
+		{"closed", func() float64 { return float64(st.Pool.FlushedClosed) }},
+		{"ranked", func() float64 { return float64(st.Pool.FlushedRanked) }},
+	} {
+		reg.RegisterCounterFunc("provex_pool_evictions_total",
+			"Pool evictions by Algorithm 3 reason (aging-tiny deleted; closed and ranked flushed to disk).",
+			ev.count, "reason", ev.reason)
+	}
+	reg.RegisterGaugeFunc("provex_mem_bundles_bytes",
+		"Analytic memory estimate of the bundle pool (Figure 11(a)).",
+		func() float64 { return float64(st.MemBundles) })
+	reg.RegisterGaugeFunc("provex_mem_index_bytes",
+		"Analytic memory estimate of the summary index (Figure 11(a)).",
+		func() float64 { return float64(st.MemIndex) })
+	reg.RegisterGaugeFunc("provex_flush_parked",
+		"Bundles parked awaiting a storage flush retry (non-zero = degraded mode).",
+		func() float64 { return float64(st.FlushParked) })
 }
 
 // ServeHTTP implements http.Handler.
@@ -75,6 +274,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 <li><code>/bundle?id=N</code> — bundle provenance trail</li>
 <li><code>/trending?k=10</code> — hot bundles right now</li>
 <li><code>/stats</code> — engine statistics</li>
+<li><code>/metrics</code> — Prometheus text exposition</li>
 </ul>`)
 }
 

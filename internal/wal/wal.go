@@ -17,6 +17,12 @@
 // record in the final file marks the end of the log — the tail is
 // truncated on Open. Corruption in an earlier file is an error, since
 // sealed files are never legitimately half-written.
+//
+// Concurrency contract: the log has a single writer — Append, Sync,
+// Truncate, Replay and Close must all come from one goroutine (the
+// ingest loop). Size and the series registered by RegisterMetrics are
+// the only concurrent-read surfaces: they are backed by atomics and
+// safe to scrape while the writer is mid-append.
 package wal
 
 import (
@@ -29,9 +35,11 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"provex/internal/fsx"
+	"provex/internal/metrics"
 	"provex/internal/tweet"
 )
 
@@ -64,7 +72,10 @@ type Options struct {
 }
 
 // Log is an open write-ahead log positioned for appending. Not safe
-// for concurrent use: the ingest pipeline's single writer owns it.
+// for concurrent use: the ingest pipeline's single writer owns it. The
+// only exceptions are Size and the RegisterMetrics instruments, which
+// are atomic (or internally locked) so a metrics scrape may read them
+// while the writer appends.
 type Log struct {
 	fs   fsx.FS
 	dir  string
@@ -72,10 +83,42 @@ type Log struct {
 
 	f       fsx.File
 	seg     int
-	size    int64
-	pending int    // appended records not yet fsynced
-	lastSeq uint64 // highest sequence appended or replayed
-	broken  error  // set when a torn tail could not be repaired; appends refused
+	size    atomic.Int64 // bytes in the active file; atomic for scrapes
+	pending int          // appended records not yet fsynced
+	lastSeq uint64       // highest sequence appended or replayed
+	broken  error        // set when a torn tail could not be repaired; appends refused
+
+	// Observability: record-write latency, fsync-batch latency (one
+	// observation per physical fsync, covering SyncEvery records), and
+	// truncations. Exported via RegisterMetrics.
+	appendTimer metrics.StageTimer
+	syncHist    *metrics.Histogram
+	truncations metrics.Counter
+}
+
+// RegisterMetrics exposes the log's instruments on reg under canonical
+// provex_wal_* names (documented in OBSERVABILITY.md).
+func (l *Log) RegisterMetrics(reg *metrics.Registry) {
+	reg.RegisterTimer("provex_wal_append_seconds",
+		"Cumulative time writing WAL records (excludes fsync).", &l.appendTimer)
+	reg.RegisterHistogram("provex_wal_fsync_seconds",
+		"Latency of WAL fsync batches (one fsync covers SyncEvery appends).", l.syncHist, 1e9)
+	reg.RegisterCounter("provex_wal_truncations_total",
+		"WAL truncations after a covering checkpoint.", &l.truncations)
+	reg.RegisterGaugeFunc("provex_wal_size_bytes",
+		"Byte length of the active WAL file.", func() float64 { return float64(l.Size()) })
+}
+
+// fsyncBounds bucket WAL fsync-batch latency from 50µs (page cache
+// absorbing the write) to 1s (saturated or faulty disk).
+var fsyncBounds = []int64{
+	int64(50 * time.Microsecond), int64(100 * time.Microsecond),
+	int64(250 * time.Microsecond), int64(500 * time.Microsecond),
+	int64(time.Millisecond), int64(2500 * time.Microsecond),
+	int64(5 * time.Millisecond), int64(10 * time.Millisecond),
+	int64(25 * time.Millisecond), int64(50 * time.Millisecond),
+	int64(100 * time.Millisecond), int64(250 * time.Millisecond),
+	int64(500 * time.Millisecond), int64(time.Second),
 }
 
 // Open opens (creating if needed) the log at dir, verifies existing
@@ -90,7 +133,7 @@ func Open(dir string, opts Options) (*Log, error) {
 	if err := opts.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
-	l := &Log{fs: opts.FS, dir: dir, opts: opts}
+	l := &Log{fs: opts.FS, dir: dir, opts: opts, syncHist: metrics.NewHistogram(fsyncBounds...)}
 	segs, err := l.listFiles()
 	if err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
@@ -117,7 +160,7 @@ func Open(dir string, opts Options) (*Log, error) {
 		}
 		if last {
 			l.seg = seg
-			l.size = validLen
+			l.size.Store(validLen)
 		}
 	}
 	if len(segs) == 0 {
@@ -131,7 +174,7 @@ func Open(dir string, opts Options) (*Log, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
-	if err := f.Truncate(l.size); err != nil {
+	if err := f.Truncate(l.size.Load()); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
 	}
@@ -195,7 +238,7 @@ func (l *Log) startFile() error {
 	}
 	l.seg = next
 	l.f = f
-	l.size = int64(len(walMagic))
+	l.size.Store(int64(len(walMagic)))
 	l.pending = 0
 	return nil
 }
@@ -380,6 +423,7 @@ func (l *Log) Append(seq uint64, m *tweet.Message) error {
 	var hdr [recordHeaderSize]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	start := time.Now()
 	if _, err := l.f.Write(hdr[:]); err != nil {
 		l.repairTail()
 		return fmt.Errorf("wal: %w", err)
@@ -388,7 +432,8 @@ func (l *Log) Append(seq uint64, m *tweet.Message) error {
 		l.repairTail()
 		return fmt.Errorf("wal: %w", err)
 	}
-	l.size += recordHeaderSize + int64(len(payload))
+	l.appendTimer.Observe(time.Since(start))
+	l.size.Add(recordHeaderSize + int64(len(payload)))
 	l.lastSeq = seq
 	l.pending++
 	if l.pending >= l.opts.SyncEvery {
@@ -405,7 +450,7 @@ func (l *Log) Append(seq uint64, m *tweet.Message) error {
 // are refused, keeping the torn tail in the final file where the next
 // Open truncates it, rather than sealing it where Open must fail.
 func (l *Log) repairTail() {
-	if err := l.f.Truncate(l.size); err != nil {
+	if err := l.f.Truncate(l.size.Load()); err != nil {
 		l.broken = fmt.Errorf("wal: tail unrepaired: %w", err)
 		return
 	}
@@ -414,14 +459,18 @@ func (l *Log) repairTail() {
 	}
 }
 
-// Sync flushes appended records to stable storage.
+// Sync flushes appended records to stable storage. The fsync latency is
+// observed on the fsync-batch histogram — one observation covers every
+// record appended since the previous sync.
 func (l *Log) Sync() error {
 	if l.pending == 0 {
 		return nil
 	}
+	start := time.Now()
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
+	l.syncHist.Observe(int64(time.Since(start)))
 	l.pending = 0
 	return nil
 }
@@ -429,8 +478,10 @@ func (l *Log) Sync() error {
 // LastSeq returns the highest sequence number appended or recovered.
 func (l *Log) LastSeq() uint64 { return l.lastSeq }
 
-// Size returns the byte length of the active log file.
-func (l *Log) Size() int64 { return l.size }
+// Size returns the byte length of the active log file. Unlike the rest
+// of the Log it is safe to call from any goroutine (metrics scrapes
+// read it live).
+func (l *Log) Size() int64 { return l.size.Load() }
 
 // Truncate discards all logged records — call it only after a
 // checkpoint has made every logged message redundant. A fresh file is
@@ -467,6 +518,7 @@ func (l *Log) Truncate() error {
 			return fmt.Errorf("wal: remove stale file: %w", err)
 		}
 	}
+	l.truncations.Inc()
 	return nil
 }
 

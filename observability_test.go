@@ -1,0 +1,127 @@
+package provex_test
+
+// Doc-coverage contract for OBSERVABILITY.md: wire the metrics
+// registry exactly the way provserve's fully-featured mode does
+// (engine + durable WAL + pipeline service + HTTP server), render the
+// exposition, and require every exported metric family to be
+// documented by name in OBSERVABILITY.md — so a metric cannot ship
+// without its runbook entry, and the runbook cannot go stale without
+// this test noticing.
+
+import (
+	"bufio"
+	"os"
+	"strings"
+	"testing"
+
+	"provex/internal/core"
+	"provex/internal/fsx"
+	"provex/internal/metrics"
+	"provex/internal/pipeline"
+	"provex/internal/query"
+	"provex/internal/server"
+)
+
+// fullRegistry builds the union of every metric family the system can
+// export, mirroring provserve's live durable mode.
+func fullRegistry(t *testing.T) *metrics.Registry {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	dur, err := pipeline.OpenDurable(core.FullIndexConfig(), nil, nil, pipeline.DurableOptions{
+		FS:             fsx.NewMem(),
+		CheckpointPath: "engine.ckpt",
+		WALDir:         "wal",
+		WALSyncEvery:   8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { dur.Close() })
+	dur.RegisterMetrics(reg)
+	dur.Engine().RegisterMetrics(reg)
+	proc := query.New(dur.Engine(), query.DefaultOptions())
+	svc := pipeline.New(proc, pipeline.Options{Durable: dur})
+	svc.RegisterMetrics(reg)
+	server.New(svc, server.WithRegistry(reg)) // registers HTTP + backend-snapshot families
+	return reg
+}
+
+// familyNames extracts every family declared by a `# TYPE name kind`
+// line of a rendered exposition.
+func familyNames(t *testing.T, exposition string) []string {
+	t.Helper()
+	var names []string
+	sc := bufio.NewScanner(strings.NewReader(exposition))
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 4 && fields[0] == "#" && fields[1] == "TYPE" {
+			names = append(names, fields[2])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(names) == 0 {
+		t.Fatal("no # TYPE lines in exposition")
+	}
+	return names
+}
+
+func TestObservabilityDocCoversEveryMetric(t *testing.T) {
+	reg := fullRegistry(t)
+	var b strings.Builder
+	if err := reg.Expose(&b); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := os.ReadFile("OBSERVABILITY.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(doc)
+	names := familyNames(t, b.String())
+	if len(names) < 20 {
+		t.Errorf("only %d metric families exported — did registration get unplugged?", len(names))
+	}
+	for _, name := range names {
+		if !strings.Contains(text, name) {
+			t.Errorf("metric family %q is exported but not documented in OBSERVABILITY.md", name)
+		}
+	}
+}
+
+// TestObservabilityDocNamesExist is the reverse direction: every
+// provex_-prefixed name the runbook mentions must actually be exported,
+// catching renames that orphan documentation.
+func TestObservabilityDocNamesExist(t *testing.T) {
+	reg := fullRegistry(t)
+	var b strings.Builder
+	if err := reg.Expose(&b); err != nil {
+		t.Fatal(err)
+	}
+	exported := make(map[string]bool)
+	for _, name := range familyNames(t, b.String()) {
+		exported[name] = true
+	}
+	doc, err := os.ReadFile("OBSERVABILITY.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(string(doc)))
+	for sc.Scan() {
+		line := sc.Text()
+		for rest := line; ; {
+			i := strings.Index(rest, "provex_")
+			if i < 0 {
+				break
+			}
+			name := rest[i:]
+			if j := strings.IndexAny(name, "`{ .,|)"); j >= 0 {
+				name = name[:j]
+			}
+			rest = rest[i+len("provex_"):]
+			if !exported[name] {
+				t.Errorf("OBSERVABILITY.md documents %q but the full wiring does not export it (line: %s)", name, strings.TrimSpace(line))
+			}
+		}
+	}
+}
