@@ -29,23 +29,42 @@ go test -race -count=1 ./internal/fsx ./internal/wal ./internal/storage
 echo "== crash torture =="
 go test -count=1 -run TestCrashTorture -v ./internal/pipeline | grep -E 'seed|PASS|FAIL|ok '
 
-# Observability loopback: a real provserve answers a real provload run
-# over localhost — non-zero throughput (provload exits 1 on zero 2xx)
-# and a well-formed /metrics scrape (provload errors on malformed
-# exposition lines) with the HTTP families present.
+# Observability loopback: a real provserve (decision tracing on)
+# answers a real provload run over localhost — non-zero throughput
+# (provload exits 1 on zero 2xx), a well-formed /metrics scrape
+# (provload errors on malformed exposition lines) with the HTTP
+# families present, and at least one harvested message ID resolving to
+# a well-formed /explain breakdown (full Eq. 1 candidate component
+# scores + Table II connection for a live-ingested message).
 echo "== provload vs provserve loopback =="
 obs_tmp="$(mktemp -d)"
 serve_pid=""
 trap '[ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null; rm -rf "$obs_tmp"' EXIT
 go build -o "$obs_tmp/provserve" ./cmd/provserve
 go build -o "$obs_tmp/provload" ./cmd/provload
-"$obs_tmp/provserve" -n 3000 -addr 127.0.0.1:18923 >"$obs_tmp/serve.log" 2>&1 &
+"$obs_tmp/provserve" -n 3000 -addr 127.0.0.1:18923 \
+    -trace-sample 1 -trace-buffer 8192 >"$obs_tmp/serve.log" 2>&1 &
 serve_pid=$!
 "$obs_tmp/provload" -target http://127.0.0.1:18923 -wait 15s \
-    -qps 300 -workers 8 -warmup 200ms -duration 2s | tee "$obs_tmp/load.out"
+    -qps 300 -workers 8 -warmup 200ms -duration 2s \
+    -mix 'search=5,prov=3,bundle=1,trending=1,explain=2' | tee "$obs_tmp/load.out"
 grep -q 'provex_http_requests_total' "$obs_tmp/load.out" \
     || { echo "loopback: HTTP metric families missing from the delta"; exit 1; }
+grep -Eq 'explain: ok=[1-9]' "$obs_tmp/load.out" \
+    || { echo "loopback: no well-formed /explain breakdown observed"; exit 1; }
+grep -q 'explain: .*malformed=0' "$obs_tmp/load.out" \
+    || { echo "loopback: malformed /explain answers"; exit 1; }
+grep -q 'decision quality:' "$obs_tmp/load.out" \
+    || { echo "loopback: decision-quality digest missing"; exit 1; }
 kill "$serve_pid"
 wait "$serve_pid" 2>/dev/null || true
+
+# Bench trajectory smoke: a tiny provbench -json run must emit a
+# parseable report with the provbench/1 schema (the format
+# BENCH_PR4.json is committed in).
+echo "== provbench -json smoke =="
+go run ./cmd/provbench -json -fig ingest -n 800 -out "$obs_tmp/bench.json" >/dev/null 2>&1
+grep -q '"schema": "provbench/1"' "$obs_tmp/bench.json" \
+    || { echo "bench smoke: schema tag missing"; exit 1; }
 
 echo "CI OK"

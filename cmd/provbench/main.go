@@ -12,13 +12,17 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
+	"provex/internal/cli"
 	"provex/internal/experiments"
 )
 
@@ -30,8 +34,13 @@ func main() {
 		sweepN   = flag.Int("sweep-n", 0, "override the Fig 9 sweep stream length (pool limits scale proportionally)")
 		out      = flag.String("out", "-", "output path, '-' for stdout")
 		workers  = flag.Int("workers", 4, "prepare workers for the 'ingest' throughput comparison")
+		jsonOut  = flag.Bool("json", false, "emit a machine-readable JSON report instead of text tables")
+		logLevel = cli.LogLevelFlag()
 	)
 	flag.Parse()
+	if err := cli.SetupLogging(*logLevel); err != nil {
+		cli.Fatal("flags", err)
+	}
 
 	var s experiments.Scale
 	switch *scaleArg {
@@ -40,7 +49,7 @@ func main() {
 	case "paper":
 		s = experiments.PaperScale()
 	default:
-		fail("unknown scale %q (want default or paper)", *scaleArg)
+		cli.Fatal("unknown scale (want default or paper)", nil, "scale", *scaleArg)
 	}
 	if *messages > 0 {
 		s.Messages = *messages
@@ -62,7 +71,7 @@ func main() {
 	if *out != "-" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fail("create %s: %v", *out, err)
+			cli.Fatal("create output", err, "path", *out)
 		}
 		defer f.Close()
 		w = f
@@ -77,30 +86,70 @@ func main() {
 	for _, f := range strings.Split(strings.ToLower(*fig), ",") {
 		f = strings.TrimSpace(f)
 		if !valid[f] {
-			fail("unknown figure %q (want 6..13, ablations, ingest or all)", f)
+			cli.Fatal("unknown figure (want 6..13, ablations, ingest or all)", nil, "fig", f)
 		}
 		figs[f] = true
 	}
-	run(w, s, figs, *workers)
+	if err := run(w, s, figs, *workers, *jsonOut); err != nil {
+		cli.Fatal("write report", err)
+	}
+}
+
+// reportSchema versions the -json layout; bump it when a field changes
+// meaning so trajectory tooling can refuse mixed comparisons.
+const reportSchema = "provbench/1"
+
+// jsonFigure is one figure's result set in the -json report.
+type jsonFigure struct {
+	Name   string               `json:"name"`
+	Tables []*experiments.Table `json:"tables"`
+	Trails []string             `json:"trails,omitempty"`
+}
+
+// jsonReport is the machine-readable bench trajectory entry: enough
+// environment to interpret the numbers, plus every requested figure's
+// tables verbatim. BENCH_PR4.json (and successors) are instances.
+type jsonReport struct {
+	Schema     string            `json:"schema"`
+	GoVersion  string            `json:"go_version"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Workers    int               `json:"workers"`
+	Scale      experiments.Scale `json:"scale"`
+	Figures    []jsonFigure      `json:"figures"`
+	ElapsedSec float64           `json:"elapsed_sec"`
 }
 
 // run executes the requested figure(s). Figures 7, 8, 11, 12 and 13
 // share one three-method pass so 'all' (or any comma-joined subset of
-// them) ingests the main stream once.
-func run(w io.Writer, s experiments.Scale, figs map[string]bool, workers int) {
+// them) ingests the main stream once. With jsonOut the tables are
+// collected into one jsonReport instead of rendered as text.
+func run(w io.Writer, s experiments.Scale, figs map[string]bool, workers int, jsonOut bool) error {
 	start := time.Now()
-	fmt.Fprintf(w, "provbench: scale messages=%d sweep=%d pool=%d bundle_limit=%d seed=%d\n\n",
-		s.Messages, s.SweepMessages, s.PoolLimit, s.BundleLimit, s.Seed)
+	report := jsonReport{
+		Schema:     reportSchema,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    workers,
+		Scale:      s,
+	}
+	if !jsonOut {
+		fmt.Fprintf(w, "provbench: scale messages=%d sweep=%d pool=%d bundle_limit=%d seed=%d\n\n",
+			s.Messages, s.SweepMessages, s.PoolLimit, s.BundleLimit, s.Seed)
+	}
 
 	var three *experiments.ThreeResult
 	needThree := func() *experiments.ThreeResult {
 		if three == nil {
-			fmt.Fprintln(os.Stderr, "provbench: running three-method stream pass...")
+			slog.Info("running three-method stream pass")
 			three = experiments.RunThreeMethods(s)
 		}
 		return three
 	}
-	emit := func(tables ...*experiments.Table) {
+	emit := func(name string, tables ...*experiments.Table) {
+		if jsonOut {
+			report.Figures = append(report.Figures, jsonFigure{Name: name, Tables: tables})
+			return
+		}
 		for _, t := range tables {
 			fmt.Fprintln(w, t.Render())
 		}
@@ -109,56 +158,72 @@ func run(w io.Writer, s experiments.Scale, figs map[string]bool, workers int) {
 	wants := func(name string) bool { return figs["all"] || figs[name] }
 
 	if wants("6") {
-		fmt.Fprintln(os.Stderr, "provbench: figure 6...")
-		emit(experiments.Fig6(s)...)
+		slog.Info("figure 6")
+		emit("fig6", experiments.Fig6(s)...)
 	}
 	if wants("7") {
-		emit(experiments.Fig7(needThree()))
+		emit("fig7", experiments.Fig7(needThree()))
 	}
 	if wants("8") {
-		emit(experiments.Fig8(needThree())...)
+		emit("fig8", experiments.Fig8(needThree())...)
 	}
 	if wants("9") {
-		fmt.Fprintln(os.Stderr, "provbench: figure 9 sweep...")
-		emit(experiments.Fig9(s))
+		slog.Info("figure 9 sweep")
+		emit("fig9", experiments.Fig9(s))
 	}
 	if wants("10") {
-		fmt.Fprintln(os.Stderr, "provbench: figure 10 showcases...")
+		slog.Info("figure 10 showcases")
 		table, trails := experiments.Fig10(s)
-		emit(table)
-		for _, trail := range trails {
-			fmt.Fprintln(w, headLines(trail, 20))
+		if jsonOut {
+			report.Figures = append(report.Figures, jsonFigure{
+				Name: "fig10", Tables: []*experiments.Table{table}, Trails: trails,
+			})
+		} else {
+			emit("fig10", table)
+			for _, trail := range trails {
+				fmt.Fprintln(w, headLines(trail, 20))
+			}
 		}
 	}
 	if wants("11") {
-		emit(experiments.Fig11(needThree())...)
+		emit("fig11", experiments.Fig11(needThree())...)
 	}
 	if wants("12") {
-		emit(experiments.Fig12(needThree()))
+		emit("fig12", experiments.Fig12(needThree()))
 	}
 	if wants("13") {
-		emit(experiments.Fig13(needThree()))
+		emit("fig13", experiments.Fig13(needThree()))
 	}
 	if three != nil {
-		emit(experiments.ConnBreakdown(three))
+		emit("conn-breakdown", experiments.ConnBreakdown(three))
 	}
 	// The ingest throughput comparison is opt-in (not part of 'all'): it
 	// re-ingests the main stream twice and only shows a speedup on
 	// multi-core machines.
 	if figs["ingest"] {
-		fmt.Fprintln(os.Stderr, "provbench: ingest throughput comparison...")
-		emit(experiments.IngestBench(s, workers))
+		slog.Info("ingest throughput comparison")
+		emit("ingest", experiments.IngestBench(s, workers))
 	}
 	if wants("ablations") {
-		fmt.Fprintln(os.Stderr, "provbench: ablations...")
-		emit(
+		slog.Info("ablations")
+		emit("ablations",
 			experiments.AblationCandidateFetch(s),
 			experiments.AblationFreshness(s),
 			experiments.AblationRefineTrigger(s),
 			experiments.AblationKeywordClass(s),
 		)
 	}
-	fmt.Fprintf(os.Stderr, "provbench: done in %.1fs\n", time.Since(start).Seconds())
+	elapsed := time.Since(start)
+	if jsonOut {
+		report.ElapsedSec = elapsed.Seconds()
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			return err
+		}
+	}
+	slog.Info("done", "seconds", fmt.Sprintf("%.1f", elapsed.Seconds()))
+	return nil
 }
 
 // headLines truncates s to its first n lines, annotating the cut.
@@ -168,9 +233,4 @@ func headLines(s string, n int) string {
 		return s
 	}
 	return strings.Join(lines[:n], "\n") + fmt.Sprintf("\n  ... (%d more lines)\n", len(lines)-n)
-}
-
-func fail(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, "provbench: "+format+"\n", args...)
-	os.Exit(1)
 }

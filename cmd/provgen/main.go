@@ -11,10 +11,11 @@ package main
 
 import (
 	"flag"
-	"fmt"
+	"log/slog"
 	"os"
 	"time"
 
+	"provex/internal/cli"
 	"provex/internal/gen"
 	"provex/internal/stream"
 )
@@ -29,8 +30,12 @@ func main() {
 		eventsDay  = flag.Float64("events-per-day", 2200, "topical event spawn rate")
 		noise      = flag.Float64("noise", 0.35, "fraction of noisy chatter messages")
 		showcases  = flag.Bool("showcases", false, "inject the Figure 10 showcase events (IBM CICS, Samoa tsunami)")
+		logLevel   = cli.LogLevelFlag()
 	)
 	flag.Parse()
+	if err := cli.SetupLogging(*logLevel); err != nil {
+		cli.Fatal("flags", err)
+	}
 
 	cfg := gen.DefaultConfig()
 	cfg.Seed = *seed
@@ -59,7 +64,7 @@ func main() {
 	if *out != "-" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fail("create %s: %v", *out, err)
+			cli.Fatal("create output", err, "path", *out)
 		}
 		defer f.Close()
 		w = f
@@ -68,12 +73,7 @@ func main() {
 	g := gen.New(cfg)
 	written, err := stream.WriteJSONL(w, stream.Limit(stream.FuncSource(g.Next), *n))
 	if err != nil {
-		fail("write: %v", err)
+		cli.Fatal("write", err)
 	}
-	fmt.Fprintf(os.Stderr, "provgen: wrote %d messages (seed %d) to %s\n", written, *seed, *out)
-}
-
-func fail(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, "provgen: "+format+"\n", args...)
-	os.Exit(1)
+	slog.Info("wrote dataset", "messages", written, "seed", *seed, "out", *out)
 }

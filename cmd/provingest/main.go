@@ -13,15 +13,18 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"provex/internal/cli"
 	"provex/internal/core"
 	"provex/internal/pipeline"
 	"provex/internal/storage"
 	"provex/internal/stream"
+	"provex/internal/trace"
 )
 
 func main() {
@@ -34,8 +37,14 @@ func main() {
 		progress    = flag.Int("progress", 100_000, "print a progress line every N messages (0 = off)")
 		workers     = flag.Int("workers", 1, "concurrent prepare (keyword extraction) workers; <=1 ingests serially")
 		matchWkrs   = flag.Int("match-workers", 1, "concurrent Eq. 1 match-scoring workers on large candidate sets; <=1 scores serially")
+		traceSample = flag.Int("trace-sample", 0, "record every Nth ingest decision and print a decision-quality digest (0 = off)")
+		traceBuffer = flag.Int("trace-buffer", trace.DefaultBuffer, "decisions and refinement events retained in the trace rings")
+		logLevel    = cli.LogLevelFlag()
 	)
 	flag.Parse()
+	if err := cli.SetupLogging(*logLevel); err != nil {
+		cli.Fatal("flags", err)
+	}
 	if *workers < 1 {
 		*workers = 1
 	}
@@ -52,7 +61,7 @@ func main() {
 	case "limit":
 		cfg = core.BundleLimitConfig(*poolLimit, *bundleLimit)
 	default:
-		fail("unknown mode %q (want full, partial or limit)", *mode)
+		cli.Fatal("unknown mode (want full, partial or limit)", nil, "mode", *mode)
 	}
 	cfg.Parallel = core.ParallelOptions{Workers: *workers, MatchWorkers: *matchWkrs}
 
@@ -61,7 +70,7 @@ func main() {
 		var err error
 		store, err = storage.Open(*storeDir, storage.Options{})
 		if err != nil {
-			fail("open store: %v", err)
+			cli.Fatal("open store", err, "path", *storeDir)
 		}
 		defer store.Close()
 	}
@@ -70,13 +79,18 @@ func main() {
 	if *in != "-" {
 		f, err := os.Open(*in)
 		if err != nil {
-			fail("open %s: %v", *in, err)
+			cli.Fatal("open input", err, "path", *in)
 		}
 		defer f.Close()
 		r = f
 	}
 
 	eng := core.New(cfg, store, nil)
+	var rec *trace.Recorder
+	if *traceSample > 0 {
+		rec = trace.New(trace.Options{SampleEvery: *traceSample, Buffer: *traceBuffer, Logger: slog.Default()})
+		eng.SetTracer(rec)
+	}
 	src := stream.NewJSONLReader(r)
 
 	// Serial and parallel ingest share the apply loop: next() yields
@@ -106,7 +120,7 @@ loop:
 	for {
 		select {
 		case <-ctx.Done():
-			fmt.Fprintf(os.Stderr, "provingest: interrupted after %d messages — draining\n", n)
+			slog.Warn("interrupted — draining", "messages", n)
 			break loop
 		default:
 		}
@@ -115,28 +129,29 @@ loop:
 			break
 		}
 		if err != nil {
-			fail("read: %v", err)
+			cli.Fatal("read", err)
 		}
 		eng.InsertPrepared(p)
 		n++
 		if *progress > 0 && n%*progress == 0 {
 			st := eng.Snapshot()
-			fmt.Fprintf(os.Stderr, "provingest: %d messages, %d live bundles, %.1f MB est., %.1fs\n",
-				n, st.BundlesLive, float64(st.MemTotal())/(1<<20), time.Since(start).Seconds())
+			slog.Info("progress", "messages", n, "bundles_live", st.BundlesLive,
+				"mem_mb", fmt.Sprintf("%.1f", float64(st.MemTotal())/(1<<20)),
+				"seconds", fmt.Sprintf("%.1f", time.Since(start).Seconds()))
 		}
 	}
 	if store != nil {
 		// Re-attempt any parked flushes and make the store durable
 		// before reporting; a still-failing disk is a hard error.
 		if err := eng.DrainFlushRetries(); err != nil {
-			fail("flush drain: %v", err)
+			cli.Fatal("flush drain", err)
 		}
 		if err := store.Sync(); err != nil {
-			fail("store sync: %v", err)
+			cli.Fatal("store sync", err)
 		}
 	}
 	if err := eng.Err(); err != nil {
-		fail("engine: %v", err)
+		cli.Fatal("engine", err)
 	}
 
 	st := eng.Snapshot()
@@ -172,9 +187,14 @@ loop:
 	if store != nil {
 		fmt.Printf("store           %d bundles, %.1f MB live\n", store.Count(), float64(store.LiveBytes())/(1<<20))
 	}
-}
-
-func fail(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, "provingest: "+format+"\n", args...)
-	os.Exit(1)
+	if rec != nil {
+		// Decision-quality digest over the retained trace window: how
+		// often matching failed (new bundle), how decisively joins won,
+		// and the fraction of near-tie joins — the messages most
+		// sensitive to Eq. 1 weight tuning.
+		dg := trace.ComputeDigest(rec.Recent(rec.Buffer()), 0)
+		fmt.Printf("trace digest    decisions=%d new_bundle=%.1f%% mean_margin=%.3f near_ties=%.1f%% (margin<%.2f) refine_events=%d\n",
+			dg.Decisions, 100*dg.NewBundleRate, dg.MeanMargin,
+			100*dg.NearTieRate, dg.NearTie, len(rec.Refinements(rec.Buffer())))
+	}
 }

@@ -14,11 +14,15 @@
 //   - closed loop (-qps 0): -workers concurrent clients issue requests
 //     back-to-back, measuring the server's ceiling.
 //
-// The workload mixes /search, /prov, /bundle and /trending by weight
-// (-mix), drawing query strings from -queries (one per line) or a
-// built-in list matched to provserve's default generated dataset.
-// Bundle IDs are harvested from /prov responses on the fly, so /bundle
-// requests hit real bundles.
+// The workload mixes /search, /prov, /bundle, /trending and /explain
+// by weight (-mix), drawing query strings from -queries (one per line)
+// or a built-in list matched to provserve's default generated dataset.
+// Bundle IDs are harvested from /prov responses and message IDs from
+// /search responses on the fly, so /bundle and /explain requests hit
+// real entities. When the mix includes explain, every /explain answer
+// is validated (full Eq. 1/Eq. 5 breakdown or a 404-with-hint) and the
+// report closes with a decision-quality digest computed from
+// /trace/recent: new-bundle rate, mean winning margin, near-tie rate.
 //
 // Usage:
 //
@@ -42,7 +46,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"provex/internal/cli"
+	"provex/internal/trace"
 )
 
 type config struct {
@@ -72,26 +80,27 @@ func main() {
 	flag.StringVar(&cfg.queries, "queries", "", "query file, one query per line ('' = built-in list)")
 	flag.Int64Var(&cfg.seed, "seed", 1, "workload RNG seed")
 	flag.BoolVar(&cfg.jsonOut, "json", false, "emit the report as JSON instead of text")
+	logLevel := cli.LogLevelFlag()
 	flag.Parse()
+	if err := cli.SetupLogging(*logLevel); err != nil {
+		cli.Fatal("flags", err)
+	}
 
 	rep, err := run(cfg)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "provload: %v\n", err)
-		os.Exit(1)
+		cli.Fatal("run", err)
 	}
 	if cfg.jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(rep); err != nil {
-			fmt.Fprintf(os.Stderr, "provload: %v\n", err)
-			os.Exit(1)
+			cli.Fatal("encode report", err)
 		}
 	} else {
 		rep.writeText(os.Stdout)
 	}
 	if rep.ByClass["2xx"] == 0 {
-		fmt.Fprintln(os.Stderr, "provload: zero successful requests")
-		os.Exit(1)
+		cli.Fatal("zero successful requests", nil)
 	}
 }
 
@@ -103,7 +112,7 @@ type op struct {
 
 // parseMix turns "search=5,prov=3" into a weighted op list.
 func parseMix(mix string) ([]op, error) {
-	known := map[string]bool{"search": true, "prov": true, "bundle": true, "trending": true, "stats": true}
+	known := map[string]bool{"search": true, "prov": true, "bundle": true, "trending": true, "stats": true, "explain": true}
 	var ops []op
 	total := 0
 	for _, part := range strings.Split(mix, ",") {
@@ -268,6 +277,19 @@ type Report struct {
 	HasMetrics  bool                      `json:"has_metrics"`
 	Delta       []DeltaLine               `json:"metrics_delta,omitempty"`
 	HotStages   []DeltaLine               `json:"hot_stages,omitempty"`
+	Explain     *ExplainStats             `json:"explain,omitempty"`
+	Quality     *trace.Digest             `json:"decision_quality,omitempty"`
+}
+
+// ExplainStats classifies every /explain answer seen during the
+// measured run. ok means a well-formed full breakdown (msg_id echoed,
+// candidates present, Table II connection set); unsampled is the
+// documented 404-with-hint for IDs the sampler skipped; malformed is
+// anything else — a server-side tracing bug.
+type ExplainStats struct {
+	OK        int64 `json:"ok"`
+	Unsampled int64 `json:"unsampled"`
+	Malformed int64 `json:"malformed"`
 }
 
 func (r *Report) writeText(w io.Writer) {
@@ -291,6 +313,15 @@ func (r *Report) writeText(w io.Writer) {
 	sort.Strings(names)
 	for _, name := range names {
 		fmt.Fprintf(w, "  /%-9s %s\n", name, fmtSummary(r.Endpoints[name]))
+	}
+	if r.Explain != nil {
+		fmt.Fprintf(w, "explain: ok=%d unsampled=%d malformed=%d\n",
+			r.Explain.OK, r.Explain.Unsampled, r.Explain.Malformed)
+	}
+	if r.Quality != nil {
+		fmt.Fprintf(w, "decision quality: decisions=%d new_bundle=%.1f%% mean_margin=%.3f near_ties=%.1f%% (margin<%.2f)\n",
+			r.Quality.Decisions, 100*r.Quality.NewBundleRate, r.Quality.MeanMargin,
+			100*r.Quality.NearTieRate, r.Quality.NearTie)
 	}
 	if !r.HasMetrics {
 		fmt.Fprintln(w, "/metrics: unavailable on target (run provserve from this tree?)")
@@ -401,8 +432,13 @@ type loadgen struct {
 	client  *http.Client
 	ops     []op
 	queries []string
-	ids     idPool
-	dropped int64 // open-loop ticks shed because all workers were busy
+	ids     idPool // bundle IDs from /prov, for /bundle
+	msgs    idPool // message IDs from /search, for /explain
+	dropped int64  // open-loop ticks shed because all workers were busy
+
+	explainOK        atomic.Int64
+	explainUnsampled atomic.Int64
+	explainMalformed atomic.Int64
 }
 
 // doOne issues a single request and returns its sample. /prov response
@@ -421,6 +457,8 @@ func (g *loadgen) doOne(opName string, rng *rand.Rand) sample {
 		path = "/trending?k=10"
 	case "stats":
 		path = "/stats"
+	case "explain":
+		path = "/explain?id=" + strconv.FormatUint(g.msgs.pick(rng), 10)
 	}
 	start := time.Now()
 	resp, err := g.client.Get(g.cfg.target + path)
@@ -428,9 +466,14 @@ func (g *loadgen) doOne(opName string, rng *rand.Rand) sample {
 		return sample{op: opName, code: 0, d: time.Since(start)}
 	}
 	defer resp.Body.Close()
-	if opName == "prov" && resp.StatusCode == http.StatusOK && g.ids.sparse() {
+	switch {
+	case opName == "prov" && resp.StatusCode == http.StatusOK && g.ids.sparse():
 		g.harvest(resp.Body)
-	} else {
+	case opName == "search" && resp.StatusCode == http.StatusOK && g.msgs.sparse():
+		g.harvestMsgs(resp.Body)
+	case opName == "explain":
+		g.checkExplain(resp)
+	default:
 		io.Copy(io.Discard, resp.Body)
 	}
 	return sample{op: opName, code: resp.StatusCode, d: time.Since(start)}
@@ -451,6 +494,86 @@ func (g *loadgen) harvest(body io.Reader) {
 		ids = append(ids, b.ID)
 	}
 	g.ids.add(ids)
+}
+
+// harvestMsgs pulls message IDs out of a /search response body so
+// /explain requests target messages the server really ingested.
+func (g *loadgen) harvestMsgs(body io.Reader) {
+	var out struct {
+		Hits []struct {
+			ID uint64 `json:"id"`
+		} `json:"hits"`
+	}
+	if err := json.NewDecoder(body).Decode(&out); err != nil {
+		return
+	}
+	ids := make([]uint64, 0, len(out.Hits))
+	for _, h := range out.Hits {
+		ids = append(ids, h.ID)
+	}
+	g.msgs.add(ids)
+}
+
+// checkExplain validates one /explain answer: a 200 must carry the
+// full decision breakdown, a 404 is the documented unsampled verdict,
+// anything else counts as malformed.
+func (g *loadgen) checkExplain(resp *http.Response) {
+	switch resp.StatusCode {
+	case http.StatusNotFound:
+		g.explainUnsampled.Add(1)
+		io.Copy(io.Discard, resp.Body)
+		return
+	case http.StatusOK:
+	default:
+		g.explainMalformed.Add(1)
+		io.Copy(io.Discard, resp.Body)
+		return
+	}
+	var d struct {
+		MsgID      uint64            `json:"msg_id"`
+		Candidates []json.RawMessage `json:"candidates"`
+		Conn       string            `json:"conn"`
+		Threshold  float64           `json:"threshold"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil ||
+		d.MsgID == 0 || d.Conn == "" || d.Threshold <= 0 {
+		g.explainMalformed.Add(1)
+		return
+	}
+	g.explainOK.Add(1)
+}
+
+// fetchQuality computes the decision-quality digest from the server's
+// /trace/recent window. A 404 means tracing is off on the target; the
+// digest is simply omitted.
+func fetchQuality(client *http.Client, target string) (*trace.Digest, error) {
+	resp, err := client.Get(target + "/trace/recent?n=1000")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, resp.Body)
+		return nil, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/trace/recent: status %d", resp.StatusCode)
+	}
+	var out struct {
+		Decisions []struct {
+			NewBundle bool    `json:"new_bundle"`
+			Margin    float64 `json:"margin"`
+		} `json:"decisions"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("/trace/recent: %w", err)
+	}
+	ds := make([]*trace.Decision, 0, len(out.Decisions))
+	for _, d := range out.Decisions {
+		ds = append(ds, &trace.Decision{NewBundle: d.NewBundle, Margin: d.Margin})
+	}
+	dg := trace.ComputeDigest(ds, 0)
+	return &dg, nil
 }
 
 // phase runs the workload for d and returns the collected samples.
@@ -592,6 +715,21 @@ func run(cfg config) (*Report, error) {
 	}
 	if before != nil && after != nil {
 		rep.Delta, rep.HotStages = diffMetrics(before, after)
+	}
+	for _, o := range ops {
+		if o.name == "explain" && o.weight > 0 {
+			rep.Explain = &ExplainStats{
+				OK:        g.explainOK.Load(),
+				Unsampled: g.explainUnsampled.Load(),
+				Malformed: g.explainMalformed.Load(),
+			}
+			q, err := fetchQuality(g.client, cfg.target)
+			if err != nil {
+				return nil, err
+			}
+			rep.Quality = q
+			break
+		}
 	}
 	return rep, nil
 }

@@ -95,7 +95,7 @@ func stubServer(t *testing.T) (*httptest.Server, *atomic.Int64) {
 		}
 	}
 	mux.HandleFunc("/search", count(func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprint(w, `{"query":"q","hits":[]}`)
+		fmt.Fprint(w, `{"query":"q","hits":[{"id":11},{"id":12}]}`)
 	}))
 	mux.HandleFunc("/prov", count(func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprint(w, `{"query":"q","bundles":[{"id":7},{"id":9}]}`)
@@ -113,6 +113,21 @@ func stubServer(t *testing.T) (*httptest.Server, *atomic.Int64) {
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprint(w, `{"messages":0}`)
 	})
+	mux.HandleFunc("/explain", count(func(w http.ResponseWriter, r *http.Request) {
+		id := r.URL.Query().Get("id")
+		if id != "11" && id != "12" {
+			w.WriteHeader(http.StatusNotFound)
+			fmt.Fprint(w, `{"error":"message has no recorded decision","hint":"lower -trace-sample"}`)
+			return
+		}
+		fmt.Fprint(w, `{"msg_id":`+id+`,"threshold":0.55,"candidates":[{"bundle":7,"total":0.8}],"new_bundle":false,"conn":"hashtag"}`)
+	}))
+	mux.HandleFunc("/trace/recent", count(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"sample_every":1,"buffer":16,"decisions":[
+			{"msg_id":11,"new_bundle":false,"margin":0.2},
+			{"msg_id":12,"new_bundle":false,"margin":0.01},
+			{"msg_id":13,"new_bundle":true,"margin":0.3}]}`)
+	}))
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "# HELP stub_requests_total Requests served.\n# TYPE stub_requests_total counter\nstub_requests_total %d\n", hits.Load())
 	})
@@ -227,5 +242,86 @@ func TestRunNoMetrics(t *testing.T) {
 	}
 	if rep.ByClass["2xx"] == 0 {
 		t.Error("no successful requests")
+	}
+}
+
+// TestRunExplain: an explain-bearing mix validates /explain answers
+// (harvested message IDs resolve, unknown IDs 404) and the report
+// gains the decision-quality digest computed from /trace/recent.
+func TestRunExplain(t *testing.T) {
+	srv, _ := stubServer(t)
+	rep, err := run(config{
+		target:   srv.URL,
+		workers:  4,
+		duration: 300 * time.Millisecond,
+		warmup:   50 * time.Millisecond, // harvests message IDs via /search
+		timeout:  2 * time.Second,
+		mix:      "search=2,explain=2",
+		seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Explain == nil {
+		t.Fatal("explain stats missing from report")
+	}
+	if rep.Explain.OK == 0 {
+		t.Errorf("no well-formed /explain answers: %+v", rep.Explain)
+	}
+	if rep.Explain.Malformed != 0 {
+		t.Errorf("stub breakdowns flagged malformed: %+v", rep.Explain)
+	}
+	if rep.Quality == nil {
+		t.Fatal("decision-quality digest missing")
+	}
+	if rep.Quality.Decisions != 3 {
+		t.Errorf("digest decisions = %d", rep.Quality.Decisions)
+	}
+	if got := rep.Quality.NewBundleRate; got < 0.33 || got > 0.34 {
+		t.Errorf("new-bundle rate = %v", got)
+	}
+	if got := rep.Quality.NearTieRate; got < 0.49 || got > 0.51 { // 1 of the 2 joins
+		t.Errorf("near-tie rate = %v", got)
+	}
+	var b strings.Builder
+	rep.writeText(&b)
+	for _, want := range []string{"explain: ok=", "decision quality:"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("text report missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+// TestRunExplainNoTracing: explain in the mix against a server without
+// tracing produces unsampled counts and no digest, not an error.
+func TestRunExplainNoTracing(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/search", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"hits":[{"id":5}]}`)
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{}`)
+	})
+	mux.HandleFunc("/explain", func(w http.ResponseWriter, r *http.Request) {
+		http.NotFound(w, r)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	rep, err := run(config{
+		target:   srv.URL,
+		workers:  2,
+		duration: 100 * time.Millisecond,
+		timeout:  time.Second,
+		mix:      "search=1,explain=1",
+		seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Explain == nil || rep.Explain.Unsampled == 0 || rep.Explain.OK != 0 {
+		t.Errorf("explain stats = %+v", rep.Explain)
+	}
+	if rep.Quality != nil {
+		t.Errorf("digest present without /trace/recent: %+v", rep.Quality)
 	}
 }

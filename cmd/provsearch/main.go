@@ -13,9 +13,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 
 	"provex/internal/bundle"
+	"provex/internal/cli"
 	"provex/internal/core"
 	"provex/internal/query"
 	"provex/internal/stream"
@@ -28,17 +30,21 @@ func main() {
 		messages = flag.Bool("messages", false, "message search (Figure 1) instead of bundle search")
 		k        = flag.Int("k", 10, "results to return")
 		trailID  = flag.Uint64("trail", 0, "render the provenance trail of this bundle ID instead of searching")
+		logLevel = cli.LogLevelFlag()
 	)
 	flag.Parse()
+	if err := cli.SetupLogging(*logLevel); err != nil {
+		cli.Fatal("flags", err)
+	}
 	if *q == "" && *trailID == 0 {
-		fail("need -q or -trail")
+		cli.Fatal("need -q or -trail", nil)
 	}
 
 	r := os.Stdin
 	if *in != "-" {
 		f, err := os.Open(*in)
 		if err != nil {
-			fail("open %s: %v", *in, err)
+			cli.Fatal("open input", err, "path", *in)
 		}
 		defer f.Close()
 		r = f
@@ -53,18 +59,18 @@ func main() {
 			break
 		}
 		if err != nil {
-			fail("read: %v", err)
+			cli.Fatal("read", err)
 		}
 		proc.Insert(m)
 		n++
 	}
-	fmt.Fprintf(os.Stderr, "provsearch: indexed %d messages\n", n)
+	slog.Info("indexed", "messages", n)
 
 	switch {
 	case *trailID != 0:
 		trail, err := proc.Trail(bundle.ID(*trailID))
 		if err != nil {
-			fail("trail: %v", err)
+			cli.Fatal("trail", err)
 		}
 		fmt.Print(trail)
 	case *messages:
@@ -77,11 +83,6 @@ func main() {
 		for _, h := range proc.SearchBundles(*q, *k) {
 			fmt.Printf("  %s\n", h)
 		}
-		fmt.Fprintln(os.Stderr, "provsearch: use -trail <id> to render a bundle's provenance trail")
+		slog.Info("use -trail <id> to render a bundle's provenance trail")
 	}
-}
-
-func fail(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, "provsearch: "+format+"\n", args...)
-	os.Exit(1)
 }

@@ -29,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"provex/internal/cli"
 	"provex/internal/core"
 	"provex/internal/gen"
 	"provex/internal/metrics"
@@ -36,32 +37,40 @@ import (
 	"provex/internal/query"
 	"provex/internal/server"
 	"provex/internal/stream"
+	"provex/internal/trace"
 )
 
 func main() {
 	var (
-		in       = flag.String("in", "", "input JSONL path ('' = generate -n messages; with -follow, '' = stdin)")
-		n        = flag.Int("n", 50_000, "messages to generate when -in is empty (ignored with -follow)")
-		seed     = flag.Int64("seed", 1, "generator seed")
-		addr     = flag.String("addr", ":8080", "listen address")
-		follow   = flag.Bool("follow", false, "keep ingesting from the input while serving (live mode)")
-		ckpt     = flag.String("ckpt", "", "checkpoint path: resume from it when present, keep it updated while running")
-		walDir   = flag.String("wal", "", "write-ahead log directory (live mode, requires -ckpt): crash-safe ingest — acknowledged messages survive a kill")
-		pprofOn  = flag.Bool("pprof", false, "expose /debug/pprof/ runtime profiles (opt-in: costs CPU while sampling)")
-		logEvery = flag.Duration("log-every", 10*time.Second, "cadence of structured progress lines in live mode")
+		in          = flag.String("in", "", "input JSONL path ('' = generate -n messages; with -follow, '' = stdin)")
+		n           = flag.Int("n", 50_000, "messages to generate when -in is empty (ignored with -follow)")
+		seed        = flag.Int64("seed", 1, "generator seed")
+		addr        = flag.String("addr", ":8080", "listen address")
+		follow      = flag.Bool("follow", false, "keep ingesting from the input while serving (live mode)")
+		ckpt        = flag.String("ckpt", "", "checkpoint path: resume from it when present, keep it updated while running")
+		walDir      = flag.String("wal", "", "write-ahead log directory (live mode, requires -ckpt): crash-safe ingest — acknowledged messages survive a kill")
+		pprofOn     = flag.Bool("pprof", false, "expose /debug/pprof/ runtime profiles (opt-in: costs CPU while sampling)")
+		logEvery    = flag.Duration("log-every", 10*time.Second, "cadence of structured progress lines in live mode")
+		traceSample = flag.Int("trace-sample", 0, "record every Nth ingest decision for /explain and /trace/* (0 = tracing off)")
+		traceBuffer = flag.Int("trace-buffer", trace.DefaultBuffer, "decisions and refinement events retained in the trace rings")
+		logLevel    = cli.LogLevelFlag()
 	)
 	flag.Parse()
-	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, nil)))
+	if err := cli.SetupLogging(*logLevel); err != nil {
+		cli.Fatal("flags", err)
+	}
+	rec := newRecorder(*traceSample, *traceBuffer)
 
 	src := openSource(*in, *n, *seed, *follow)
 	if *follow {
-		serveLive(src, *addr, *ckpt, *walDir, *pprofOn, *logEvery)
+		serveLive(src, *addr, *ckpt, *walDir, *pprofOn, *logEvery, rec)
 		return
 	}
 
 	// Build-then-serve: ingest everything, then answer queries
 	// single-threaded through the processor.
 	proc := buildProcessor(*ckpt)
+	proc.Engine().SetTracer(rec)
 	start := time.Now()
 	count := ingestAll(proc, src)
 	st := proc.Snapshot()
@@ -69,21 +78,36 @@ func main() {
 		"seconds", fmt.Sprintf("%.1f", time.Since(start).Seconds()))
 	if *ckpt != "" {
 		if err := proc.Engine().SaveCheckpoint(nil, *ckpt); err != nil {
-			fail("checkpoint", err)
+			cli.Fatal("checkpoint", err)
 		}
 		slog.Info("checkpoint written", "path", *ckpt)
 	}
 	reg := metrics.NewRegistry()
 	proc.Engine().RegisterMetrics(reg)
 	slog.Info("listening", "addr", *addr, "try", "/prov?q=tsunami+samoa")
-	serveHTTP(*addr, server.New(proc, serverOptions(reg, *pprofOn)...), nil)
+	serveHTTP(*addr, server.New(proc, serverOptions(reg, *pprofOn, rec)...), nil)
+}
+
+// newRecorder builds the decision tracer, nil when sampling is off
+// (every consumer accepts a nil recorder).
+func newRecorder(sample, buffer int) *trace.Recorder {
+	if sample <= 0 {
+		return nil
+	}
+	rec := trace.New(trace.Options{SampleEvery: sample, Buffer: buffer, Logger: slog.Default()})
+	slog.Info("decision tracing on", "sample_every", sample, "buffer", rec.Buffer())
+	return rec
 }
 
 // serverOptions assembles the observability options every mode shares.
-func serverOptions(reg *metrics.Registry, pprofOn bool) []server.Option {
+func serverOptions(reg *metrics.Registry, pprofOn bool, rec *trace.Recorder) []server.Option {
 	opts := []server.Option{server.WithRegistry(reg)}
 	if pprofOn {
 		opts = append(opts, server.WithPprof())
+	}
+	if rec != nil {
+		rec.RegisterMetrics(reg)
+		opts = append(opts, server.WithTrace(rec))
 	}
 	return opts
 }
@@ -98,7 +122,7 @@ func buildProcessor(ckpt string) *query.Processor {
 		case errors.Is(err, fs.ErrNotExist):
 			// Fresh start; the checkpoint will be created on save.
 		case err != nil:
-			fail("restore checkpoint", err, "path", ckpt)
+			cli.Fatal("restore checkpoint", err, "path", ckpt)
 		default:
 			st := eng.Snapshot()
 			slog.Info("resumed from checkpoint", "path", ckpt,
@@ -132,7 +156,7 @@ func serveHTTP(addr string, h http.Handler, onShutdown func()) {
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errc:
-		fail("serve", err)
+		cli.Fatal("serve", err)
 	case sig := <-sigc:
 		slog.Info("draining", "signal", sig.String())
 		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
@@ -152,7 +176,7 @@ func openSource(in string, n int, seed int64, follow bool) stream.Source {
 	case in != "":
 		f, err := os.Open(in)
 		if err != nil {
-			fail("open input", err, "path", in)
+			cli.Fatal("open input", err, "path", in)
 		}
 		return stream.NewJSONLReader(f)
 	case follow:
@@ -178,7 +202,7 @@ func ingestAll(proc *query.Processor, src stream.Source) int {
 			return count
 		}
 		if err != nil {
-			fail("read", err)
+			cli.Fatal("read", err)
 		}
 		proc.Insert(m)
 		count++
@@ -190,7 +214,7 @@ func ingestAll(proc *query.Processor, src stream.Source) int {
 // With both -ckpt and -wal the ingest path is crash-safe: every
 // message is WAL-appended before it is applied, and a kill at any
 // point recovers to checkpoint + WAL replay on the next start.
-func serveLive(src stream.Source, addr, ckpt, walDir string, pprofOn bool, logEvery time.Duration) {
+func serveLive(src stream.Source, addr, ckpt, walDir string, pprofOn bool, logEvery time.Duration, rec *trace.Recorder) {
 	cfg := core.FullIndexConfig()
 	opts := pipeline.Options{}
 	reg := metrics.NewRegistry()
@@ -198,7 +222,7 @@ func serveLive(src stream.Source, addr, ckpt, walDir string, pprofOn bool, logEv
 	var dur *pipeline.Durable
 	switch {
 	case walDir != "" && ckpt == "":
-		fail("flags", errors.New("-wal requires -ckpt"))
+		cli.Fatal("flags", errors.New("-wal requires -ckpt"))
 	case walDir != "":
 		var err error
 		dur, err = pipeline.OpenDurable(cfg, nil, nil, pipeline.DurableOptions{
@@ -207,7 +231,7 @@ func serveLive(src stream.Source, addr, ckpt, walDir string, pprofOn bool, logEv
 			WALSyncEvery:   64,
 		})
 		if err != nil {
-			fail("durable open", err)
+			cli.Fatal("durable open", err)
 		}
 		if st := dur.Engine().Snapshot(); st.Messages > 0 {
 			slog.Info("recovered", "messages", st.Messages, "wal_replayed", dur.Replayed())
@@ -227,6 +251,7 @@ func serveLive(src stream.Source, addr, ckpt, walDir string, pprofOn bool, logEv
 			opts.CheckpointPath = ckpt
 		}
 	}
+	proc.Engine().SetTracer(rec)
 	proc.Engine().RegisterMetrics(reg)
 	svc := pipeline.New(proc, opts)
 	svc.RegisterMetrics(reg)
@@ -237,19 +262,19 @@ func serveLive(src stream.Source, addr, ckpt, walDir string, pprofOn bool, logEv
 			m, err := src.Next()
 			if err == io.EOF {
 				if err := svc.Stop(); err != nil {
-					fail("pipeline", err)
+					cli.Fatal("pipeline", err)
 				}
 				slog.Info("input drained, still serving", "messages", svc.Ingested())
 				return
 			}
 			if err != nil {
-				fail("read", err)
+				cli.Fatal("read", err)
 			}
 			if err := svc.Submit(m); err != nil {
 				if errors.Is(err, pipeline.ErrClosed) {
 					return // shutdown raced the feed; drop the rest
 				}
-				fail("submit", err)
+				cli.Fatal("submit", err)
 			}
 		}
 	}()
@@ -273,7 +298,7 @@ func serveLive(src stream.Source, addr, ckpt, walDir string, pprofOn bool, logEv
 	}()
 
 	slog.Info("live mode", "addr", addr, "durable", dur != nil)
-	serveHTTP(addr, server.New(svc, serverOptions(reg, pprofOn)...), func() {
+	serveHTTP(addr, server.New(svc, serverOptions(reg, pprofOn, rec)...), func() {
 		// Stop drains the ingest queue and writes the final checkpoint
 		// (which also truncates the WAL in durable mode).
 		if err := svc.Stop(); err != nil {
@@ -285,10 +310,4 @@ func serveLive(src stream.Source, addr, ckpt, walDir string, pprofOn bool, logEv
 			}
 		}
 	})
-}
-
-// fail logs a fatal error with structured context and exits non-zero.
-func fail(msg string, err error, attrs ...any) {
-	slog.Error(msg, append([]any{"err", err}, attrs...)...)
-	os.Exit(1)
 }

@@ -20,19 +20,24 @@ import (
 	"sort"
 	"time"
 
+	"provex/internal/cli"
 	"provex/internal/metrics"
 	"provex/internal/stream"
 )
 
 func main() {
 	in := flag.String("in", "-", "input JSONL path, '-' for stdin")
+	logLevel := cli.LogLevelFlag()
 	flag.Parse()
+	if err := cli.SetupLogging(*logLevel); err != nil {
+		cli.Fatal("flags", err)
+	}
 
 	r := os.Stdin
 	if *in != "-" {
 		f, err := os.Open(*in)
 		if err != nil {
-			fail("open %s: %v", *in, err)
+			cli.Fatal("open input", err, "path", *in)
 		}
 		defer f.Close()
 		r = f
@@ -54,7 +59,7 @@ func main() {
 			break
 		}
 		if err != nil {
-			fail("read: %v", err)
+			cli.Fatal("read", err)
 		}
 		n++
 		if first.IsZero() {
@@ -85,7 +90,7 @@ func main() {
 		}
 	}
 	if n == 0 {
-		fail("empty dataset")
+		cli.Fatal("empty dataset", nil)
 	}
 
 	span := last.Sub(first)
@@ -142,9 +147,4 @@ func main() {
 	fmt.Println()
 
 	fmt.Printf("\ntext length distribution:\n%s", lenHist.String())
-}
-
-func fail(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, "provstats: "+format+"\n", args...)
-	os.Exit(1)
 }

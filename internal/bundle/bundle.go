@@ -146,6 +146,27 @@ func mapKeys(m map[string]int) []string {
 // inserted node. Adding to a closed bundle panics — the engine checks
 // Closed before routing.
 func (b *Bundle) Add(w score.MessageWeights, doc score.Doc) int {
+	return b.AddObserved(w, doc, nil)
+}
+
+// ParentCandidate reports one Algorithm 2 evaluation to an observer:
+// an existing node considered as parent for the incoming message, with
+// the Eq. 5 score split into its Eq. 2–4, keyword and RT components.
+type ParentCandidate struct {
+	Node  int
+	Msg   tweet.ID
+	Conn  score.ConnectionType
+	Parts score.MessageSimParts
+}
+
+// ParentObserver receives each considered parent during AddObserved.
+type ParentObserver func(ParentCandidate)
+
+// AddObserved is Add with a per-candidate observer for the decision
+// tracer; obs may be nil (then it is exactly Add). The observed path
+// uses score.MessageSimWithParts, whose Total is bit-identical to
+// MessageSim, so observation never changes the chosen parent.
+func (b *Bundle) AddObserved(w score.MessageWeights, doc score.Doc, obs ParentObserver) int {
 	if b.closed {
 		panic("bundle: Add to closed bundle")
 	}
@@ -157,7 +178,14 @@ func (b *Bundle) Add(w score.MessageWeights, doc score.Doc) int {
 		if c == score.ConnNone {
 			continue
 		}
-		s := score.MessageSim(w, b.nodes[i].Doc, doc)
+		var s float64
+		if obs == nil {
+			s = score.MessageSim(w, b.nodes[i].Doc, doc)
+		} else {
+			parts := score.MessageSimWithParts(w, b.nodes[i].Doc, doc)
+			s = parts.Total
+			obs(ParentCandidate{Node: i, Msg: b.nodes[i].Doc.Msg.ID, Conn: c, Parts: parts})
+		}
 		if s > best || (s == best && parent == NoParent) {
 			best, parent, conn = s, int32(i), c
 		}

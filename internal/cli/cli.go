@@ -1,0 +1,42 @@
+// Package cli centralises the conventions shared by every cmd/*
+// binary: one -log-level flag, one slog setup (TextHandler on stderr,
+// so stdout stays reserved for each tool's actual output), and one
+// fatal-exit helper. Keeping this in a package rather than per-main
+// boilerplate is what keeps the 7 binaries' logging uniform.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+)
+
+// LogLevelFlag registers the shared -log-level flag on the default
+// flag set. Call before flag.Parse, then pass the parsed value to
+// SetupLogging.
+func LogLevelFlag() *string {
+	return flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+}
+
+// SetupLogging installs the process-wide slog default: a TextHandler
+// on stderr filtered at the given level. Level names parse per
+// slog.Level.UnmarshalText (case-insensitive, DEBUG/INFO/WARN/ERROR).
+func SetupLogging(level string) error {
+	var l slog.Level
+	if err := l.UnmarshalText([]byte(level)); err != nil {
+		return fmt.Errorf("invalid -log-level %q (want debug, info, warn or error)", level)
+	}
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: l})))
+	return nil
+}
+
+// Fatal logs msg (plus an optional error and attrs) at error level and
+// exits non-zero.
+func Fatal(msg string, err error, attrs ...any) {
+	if err != nil {
+		attrs = append(attrs, "err", err)
+	}
+	slog.Error(msg, attrs...)
+	os.Exit(1)
+}

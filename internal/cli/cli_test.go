@@ -1,0 +1,37 @@
+package cli
+
+import (
+	"context"
+	"log/slog"
+	"testing"
+)
+
+func TestSetupLogging(t *testing.T) {
+	old := slog.Default()
+	defer slog.SetDefault(old)
+
+	for _, level := range []string{"debug", "info", "WARN", "Error"} {
+		if err := SetupLogging(level); err != nil {
+			t.Errorf("SetupLogging(%q) = %v", level, err)
+		}
+	}
+	if err := SetupLogging("verbose"); err == nil {
+		t.Error("SetupLogging(\"verbose\") accepted an unknown level")
+	}
+}
+
+func TestLevelFiltering(t *testing.T) {
+	old := slog.Default()
+	defer slog.SetDefault(old)
+
+	if err := SetupLogging("warn"); err != nil {
+		t.Fatal(err)
+	}
+	h := slog.Default().Handler()
+	if h.Enabled(context.Background(), slog.LevelInfo) {
+		t.Error("info enabled at -log-level warn")
+	}
+	if !h.Enabled(context.Background(), slog.LevelError) {
+		t.Error("error disabled at -log-level warn")
+	}
+}

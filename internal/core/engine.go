@@ -24,6 +24,7 @@ import (
 	"provex/internal/storage"
 	"provex/internal/stream"
 	"provex/internal/sumindex"
+	"provex/internal/trace"
 	"provex/internal/tweet"
 )
 
@@ -249,6 +250,11 @@ type Engine struct {
 	// onFlush observes each bundle successfully persisted to the disk
 	// back-end (archive indexing). Nil when unused.
 	onFlush func(*bundle.Bundle)
+
+	// tracer records sampled ingest decisions and refinement verdicts;
+	// nil when tracing is off (trace.Recorder methods accept a nil
+	// receiver, so the hot path pays one branch, no indirection).
+	tracer *trace.Recorder
 }
 
 // flushRetry is one parked bundle awaiting a storage retry.
@@ -315,6 +321,35 @@ func (e *Engine) RegisterMetrics(reg *metrics.Registry) {
 		"Equation 6 eviction score G(B) of ranked refinement victims (unit: G, i.e. hours of quiet age + 1/|B|).",
 		e.gHist, 1000)
 }
+
+// SetTracer attaches a decision recorder: sampled inserts capture the
+// full Eq. 1 candidate scoring, the Algorithm 2 parent choice and the
+// Table II connection type, and every Algorithm 3 refinement verdict
+// is appended to the recorder's audit ring. Must be set before ingest
+// starts; nil detaches.
+func (e *Engine) SetTracer(r *trace.Recorder) {
+	e.tracer = r
+	if r == nil {
+		e.pool.SetRefineObserver(nil)
+		return
+	}
+	e.pool.SetRefineObserver(func(b *bundle.Bundle, reason pool.EvictReason, ageHours, g float64, rank int) {
+		r.RecordRefine(trace.RefineEvent{
+			Now:      e.clock.Now(),
+			Bundle:   uint64(b.ID()),
+			Reason:   reason.String(),
+			Size:     b.Size(),
+			AgeHours: ageHours,
+			GScore:   g,
+			Rank:     rank,
+			Flushed:  reason != pool.EvictAgingTiny,
+		})
+	})
+}
+
+// Tracer returns the attached decision recorder, nil when tracing is
+// off.
+func (e *Engine) Tracer() *trace.Recorder { return e.tracer }
 
 // SetKeywordClass toggles the summary index's keyword class (ablation).
 func (e *Engine) SetKeywordClass(on bool) {
@@ -471,10 +506,18 @@ func (e *Engine) InsertPrepared(p Prepared) InsertResult {
 	e.clock.Observe(m)
 	e.messages.Inc()
 
+	// Decision tracing: nil unless this message is sampled. Everything
+	// below guards on td so the untraced path stays allocation-free.
+	td := e.tracer.Begin(uint64(m.ID))
+	if td != nil {
+		td.User = m.User
+		td.Date = m.Date
+	}
+
 	// Step 1+2a: fetch candidates and pick the best bundle by Eq. 1.
 	var chosen *bundle.Bundle
 	e.matchTimer.Time(func() {
-		chosen = e.matchBundle(doc)
+		chosen = e.matchBundle(doc, td)
 	})
 
 	// Step 2b: allocate inside the bundle (Algorithm 2) or open a new
@@ -486,7 +529,23 @@ func (e *Engine) InsertPrepared(p Prepared) InsertResult {
 			res.Created = true
 		}
 		res.Bundle = chosen.ID()
-		res.Node = chosen.Add(e.cfg.MsgWeights, doc)
+		if td == nil {
+			res.Node = chosen.Add(e.cfg.MsgWeights, doc)
+		} else {
+			res.Node = chosen.AddObserved(e.cfg.MsgWeights, doc, func(pc bundle.ParentCandidate) {
+				td.Parents = append(td.Parents, trace.ParentScore{
+					Node:    pc.Node,
+					MsgID:   uint64(pc.Msg),
+					Conn:    pc.Conn.String(),
+					U:       pc.Parts.U,
+					H:       pc.Parts.H,
+					T:       pc.Parts.T,
+					Keyword: pc.Parts.Keyword,
+					RT:      pc.Parts.RT,
+					Total:   pc.Parts.Total,
+				})
+			})
+		}
 		node := chosen.Nodes()[res.Node]
 		res.Conn = node.Conn
 		if node.Parent != bundle.NoParent {
@@ -495,10 +554,23 @@ func (e *Engine) InsertPrepared(p Prepared) InsertResult {
 			e.connCounts[node.Conn].Inc()
 			e.onEdge(parent, m.ID, node.Conn)
 		}
+		if td != nil {
+			td.NewBundle = res.Created
+			td.Bundle = uint64(res.Bundle)
+			if !res.Created {
+				td.Winner = uint64(res.Bundle)
+			}
+			td.Node = res.Node
+			td.Parent = int(node.Parent)
+			td.ParentScore = node.Score
+			td.Conn = node.Conn.String()
+		}
 	})
 
 	// Step 3: update the summary index with the new message's indicants.
 	e.index.Observe(sumindex.BundleID(chosen.ID()), doc)
+
+	e.tracer.Commit(td)
 
 	// Periodic maintenance (Section V-B), plus the flush retry queue:
 	// parked bundles re-attempt storage on the same cadence.
@@ -518,19 +590,30 @@ func (e *Engine) InsertPrepared(p Prepared) InsertResult {
 // goroutines; the reduction is deterministic (max score, ties to the
 // lowest bundle ID — exactly the serial loop's invariant), so the
 // parallel and serial paths always pick the same bundle.
-func (e *Engine) matchBundle(doc score.Doc) *bundle.Bundle {
+func (e *Engine) matchBundle(doc score.Doc, td *trace.Decision) *bundle.Bundle {
 	cands := e.index.Candidates(doc)
+	if td != nil {
+		td.CandidatesFetched = len(cands)
+		td.Threshold = e.cfg.BundleWeights.Threshold
+	}
 	if e.cfg.MaxCandidates > 0 && len(cands) > e.cfg.MaxCandidates {
 		cands = cands[:e.cfg.MaxCandidates]
+	}
+	if td != nil {
+		td.CandidatesDropped = td.CandidatesFetched - len(cands)
 	}
 	threshold := e.cfg.Parallel.MatchThreshold
 	if threshold <= 0 {
 		threshold = DefaultMatchThreshold
 	}
 	if w := e.cfg.Parallel.MatchWorkers; w > 1 && len(cands) >= threshold {
-		return e.matchParallel(doc, cands, w)
+		return e.matchParallel(doc, cands, w, td)
 	}
-	best, _ := e.matchRange(doc, cands)
+	var sink *[]trace.CandidateScore
+	if td != nil {
+		sink = &td.Candidates
+	}
+	best, _ := e.matchRange(doc, cands, sink)
 	return best
 }
 
@@ -538,16 +621,45 @@ func (e *Engine) matchBundle(doc score.Doc) *bundle.Bundle {
 // slice: the best open bundle scoring strictly above the join
 // threshold, ties broken toward the lowest bundle ID. Safe to run
 // concurrently over disjoint slices — it only reads pool and bundle
-// state, which no one mutates during the match stage.
-func (e *Engine) matchRange(doc score.Doc, cands []sumindex.Candidate) (*bundle.Bundle, float64) {
+// state, which no one mutates during the match stage. A non-nil sink
+// receives one CandidateScore per fetched candidate (skipped ones
+// included); the traced path scores via BundleSimWithParts, whose
+// Total is bit-identical to BundleSim, so tracing never changes which
+// bundle wins.
+func (e *Engine) matchRange(doc score.Doc, cands []sumindex.Candidate, sink *[]trace.CandidateScore) (*bundle.Bundle, float64) {
 	var best *bundle.Bundle
 	bestScore := e.cfg.BundleWeights.Threshold
 	for _, c := range cands {
 		b := e.pool.Get(bundle.ID(c.ID))
 		if b == nil || b.Closed() {
+			if sink != nil {
+				skip := "evicted"
+				if b != nil {
+					skip = "closed"
+				}
+				*sink = append(*sink, trace.CandidateScore{
+					Bundle: uint64(c.ID), Hits: c.Hits, Skipped: skip,
+				})
+			}
 			continue
 		}
-		s := score.BundleSim(e.cfg.BundleWeights, doc, b)
+		var s float64
+		if sink == nil {
+			s = score.BundleSim(e.cfg.BundleWeights, doc, b)
+		} else {
+			parts := score.BundleSimWithParts(e.cfg.BundleWeights, doc, b)
+			s = parts.Total
+			*sink = append(*sink, trace.CandidateScore{
+				Bundle:    uint64(c.ID),
+				Hits:      c.Hits,
+				URL:       parts.URL,
+				Hashtag:   parts.Tag,
+				Keyword:   parts.Keyword,
+				RT:        parts.RT,
+				Freshness: parts.Freshness,
+				Total:     s,
+			})
+		}
 		if s > bestScore || (s == bestScore && best != nil && b.ID() < best.ID()) {
 			bestScore, best = s, b
 		}
@@ -558,13 +670,21 @@ func (e *Engine) matchRange(doc score.Doc, cands []sumindex.Candidate) (*bundle.
 // matchParallel splits the candidate list into contiguous chunks, runs
 // matchRange on each concurrently and reduces the per-chunk winners
 // under the same (score desc, ID asc) order the serial loop applies.
-func (e *Engine) matchParallel(doc score.Doc, cands []sumindex.Candidate, workers int) *bundle.Bundle {
+// When tracing, each worker appends to its own chunk-local sink (no
+// shared mutable state between goroutines); the chunks concatenate in
+// chunk order after the barrier, so the merged candidate list is in
+// the exact order the serial loop would have produced.
+func (e *Engine) matchParallel(doc score.Doc, cands []sumindex.Candidate, workers int, td *trace.Decision) *bundle.Bundle {
 	type chunkBest struct {
 		b *bundle.Bundle
 		s float64
 	}
 	chunk := (len(cands) + workers - 1) / workers
 	results := make([]chunkBest, workers)
+	var chunkSinks [][]trace.CandidateScore
+	if td != nil {
+		chunkSinks = make([][]trace.CandidateScore, workers)
+	}
 	var wg sync.WaitGroup
 	for k := 0; k < workers; k++ {
 		lo := k * chunk
@@ -578,11 +698,20 @@ func (e *Engine) matchParallel(doc score.Doc, cands []sumindex.Candidate, worker
 		wg.Add(1)
 		go func(k int, part []sumindex.Candidate) {
 			defer wg.Done()
-			b, s := e.matchRange(doc, part)
+			var sink *[]trace.CandidateScore
+			if td != nil {
+				sink = &chunkSinks[k]
+			}
+			b, s := e.matchRange(doc, part, sink)
 			results[k] = chunkBest{b: b, s: s}
 		}(k, cands[lo:hi])
 	}
 	wg.Wait()
+	if td != nil {
+		for _, cs := range chunkSinks {
+			td.Candidates = append(td.Candidates, cs...)
+		}
+	}
 	var best *bundle.Bundle
 	bestScore := e.cfg.BundleWeights.Threshold
 	for _, r := range results {

@@ -1,0 +1,36 @@
+// Process-level metadata metrics: a constant build-info gauge whose
+// labels identify what is running, and the process start time so
+// scrapes can compute uptime and correlate deploys with trace output.
+package metrics
+
+import (
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// RegisterProcess exposes provex_build_info (value 1, version and
+// go-version labels — the Prometheus build-info idiom) and
+// provex_process_start_time_seconds on reg. Call once per registry;
+// registering the same family twice panics like any duplicate series.
+func RegisterProcess(reg *Registry) {
+	version := "devel"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && len(s.Value) >= 12 {
+				version = s.Value[:12]
+			}
+		}
+	}
+	reg.RegisterGaugeFunc("provex_build_info",
+		"Constant 1; the labels identify the running build.",
+		func() float64 { return 1 },
+		"version", version, "go_version", runtime.Version())
+	start := float64(time.Now().UnixNano()) / 1e9
+	reg.RegisterGaugeFunc("provex_process_start_time_seconds",
+		"Unix time the process started, for uptime computation.",
+		func() float64 { return start })
+}

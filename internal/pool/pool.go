@@ -106,7 +106,21 @@ type Pool struct {
 	inserts int
 	stats   Stats
 	gHist   *metrics.Histogram // optional: Eq. 6 scores of ranked evictions
+
+	onRefine RefineObserver // optional: per-victim refinement audit
 }
+
+// RefineObserver receives every Algorithm 3 eviction verdict: the
+// victim, the reason, its quiet age in hours, its Eq. 6 score G(B),
+// and — for ranked (second-stage) evictions — its 1-based position in
+// the G ranking (0 for stage-one verdicts, which are categorical, not
+// ranked). The decision tracer subscribes here.
+type RefineObserver func(b *bundle.Bundle, reason EvictReason, ageHours, g float64, rank int)
+
+// SetRefineObserver registers fn (nil unregisters). Called from the
+// single ingest goroutine during refinement, before the EvictFunc for
+// the same victim.
+func (p *Pool) SetRefineObserver(fn RefineObserver) { p.onRefine = fn }
 
 // SetGScoreHistogram registers a histogram that observes the Equation 6
 // eviction score of every second-stage (ranked) eviction victim, in
@@ -256,11 +270,17 @@ func (p *Pool) refine(now time.Time) {
 		switch {
 		case age > p.cfg.RefineAge && b.Size() < p.cfg.RefineSize:
 			delete(p.bundles, id)
+			if p.onRefine != nil {
+				p.onRefine(b, EvictAgingTiny, age.Hours(), score.EvictionRank(now, b.LastUpdate(), b.Size()), 0)
+			}
 			p.onEvict(b, EvictAgingTiny, false)
 			p.stats.DeletedTiny++
 			count++
 		case age > p.cfg.RefineAge && b.Closed():
 			delete(p.bundles, id)
+			if p.onRefine != nil {
+				p.onRefine(b, EvictClosed, age.Hours(), score.EvictionRank(now, b.LastUpdate(), b.Size()), 0)
+			}
 			p.onEvict(b, EvictClosed, true)
 			p.stats.FlushedClosed++
 			count++
@@ -274,11 +294,14 @@ func (p *Pool) refine(now time.Time) {
 		}
 		return waiting[i].b.ID() < waiting[j].b.ID()
 	})
-	for _, rb := range waiting {
+	for rank, rb := range waiting {
 		if count >= p.cfg.LowerLimit && len(p.bundles) <= p.cfg.MaxBundles {
 			break
 		}
 		delete(p.bundles, rb.b.ID())
+		if p.onRefine != nil {
+			p.onRefine(rb.b, EvictRanked, now.Sub(rb.b.LastUpdate()).Hours(), rb.g, rank+1)
+		}
 		p.onEvict(rb.b, EvictRanked, true)
 		p.stats.FlushedRanked++
 		count++

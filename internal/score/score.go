@@ -167,6 +167,38 @@ func MessageSim(w MessageWeights, earlier, later Doc) float64 {
 	return s
 }
 
+// MessageSimParts is the per-component breakdown of Equation 5, used
+// by the decision tracer. Total accumulates in exactly the same order
+// as MessageSim, so it is bit-identical to the score Algorithm 2
+// actually compared — a traced run can never pick a different parent.
+type MessageSimParts struct {
+	U       float64 // weighted Eq. 2 term
+	H       float64 // weighted Eq. 3 term
+	T       float64 // weighted Eq. 4 term
+	Keyword float64 // weighted keyword-ratio term
+	RT      float64 // re-share bonus (0 or w.RT)
+	Total   float64
+}
+
+// MessageSimWithParts is MessageSim with the component split exposed.
+func MessageSimWithParts(w MessageWeights, earlier, later Doc) MessageSimParts {
+	p := MessageSimParts{
+		U:       w.URL * U(earlier.Msg, later.Msg),
+		H:       w.Tag * H(earlier.Msg, later.Msg),
+		T:       w.Time * T(earlier.Msg, later.Msg),
+		Keyword: w.Keyword * keywordSim(earlier, later),
+	}
+	// Identical association order to MessageSim: ((U+H)+T)+Keyword,
+	// then the RT bonus.
+	s := p.U + p.H + p.T + p.Keyword
+	if later.Msg.IsRT() && later.Msg.RTOf == earlier.Msg.User {
+		p.RT = w.RT
+		s += w.RT
+	}
+	p.Total = s
+	return p
+}
+
 // BundleWeights parameterise Equation 1 — message-to-bundle relevance.
 type BundleWeights struct {
 	URL     float64 // α: per shared URL
@@ -248,6 +280,63 @@ func BundleSim(w BundleWeights, t Doc, b BundleStats) float64 {
 		s += w.Time / (gap.Hours() + 1)
 	}
 	return s
+}
+
+// BundleSimParts is the per-component breakdown of Equation 1, used by
+// the decision tracer. Total accumulates in exactly the same sequence
+// as BundleSim — bit-identical to the score the match stage compared
+// against the join threshold, so tracing can never flip a near-tie.
+type BundleSimParts struct {
+	URL       float64 // hard URL indicant matches
+	Tag       float64 // hard hashtag indicant matches
+	Keyword   float64 // bounded keyword-ratio term
+	RT        float64 // re-share bonus (0 or w.RT)
+	Freshness float64 // γ·1/(1+Δt_hours), only when s > 0
+	Total     float64
+}
+
+// BundleSimWithParts is BundleSim with the component split exposed.
+func BundleSimWithParts(w BundleWeights, t Doc, b BundleStats) BundleSimParts {
+	var p BundleSimParts
+	var s float64
+	for _, u := range t.Msg.URLs {
+		if b.URLCount(u) > 0 {
+			s += w.URL
+			p.URL += w.URL
+		}
+	}
+	for _, h := range t.Msg.Hashtags {
+		if b.TagCount(h) > 0 {
+			s += w.Tag
+			p.Tag += w.Tag
+		}
+	}
+	if len(t.Keywords) > 0 {
+		shared := 0
+		for _, k := range t.Keywords {
+			if b.KeywordCount(k) > 0 {
+				shared++
+			}
+		}
+		kw := w.Keyword * float64(shared) / float64(len(t.Keywords))
+		s += kw
+		p.Keyword = kw
+	}
+	if t.Msg.IsRT() && b.HasUser(t.Msg.RTOf) {
+		s += w.RT
+		p.RT = w.RT
+	}
+	if s > 0 && w.Time > 0 {
+		gap := t.Msg.Date.Sub(b.LastDate())
+		if gap < 0 {
+			gap = -gap
+		}
+		fresh := w.Time / (gap.Hours() + 1)
+		s += fresh
+		p.Freshness = fresh
+	}
+	p.Total = s
+	return p
 }
 
 // EvictionRank is Equation 6: G(B) = curr − date(B) + 1/|B|, where the

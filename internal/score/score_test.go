@@ -2,6 +2,9 @@ package score
 
 import (
 	"math"
+	"math/rand"
+	"strconv"
+	"strings"
 	"testing"
 	"testing/quick"
 	"time"
@@ -236,5 +239,77 @@ func TestBundleSimEmptyProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+// randDoc builds a message from pooled vocabulary so random pairs
+// overlap on URLs, hashtags and keywords with realistic frequency.
+func randDoc(rng *rand.Rand, id tweet.ID) Doc {
+	words := []string{"lester", "ovation", "game", "tsunami", "samoa", "quake", "warning", "rescue", "coast", "boston"}
+	tags := []string{"#redsox", "#yankees", "#tsunami", "#samoa"}
+	urls := []string{"http://bit.ly/x", "http://bit.ly/y", "http://t.co/z"}
+	parts := []string{}
+	if rng.Intn(4) == 0 {
+		parts = append(parts, "RT @src"+strconv.Itoa(rng.Intn(3))+":")
+	}
+	for i, n := 0, 1+rng.Intn(5); i < n; i++ {
+		parts = append(parts, words[rng.Intn(len(words))])
+	}
+	for i, n := 0, rng.Intn(3); i < n; i++ {
+		parts = append(parts, tags[rng.Intn(len(tags))])
+	}
+	if rng.Intn(2) == 0 {
+		parts = append(parts, urls[rng.Intn(len(urls))])
+	}
+	at := base.Add(time.Duration(rng.Intn(72*3600)) * time.Second)
+	return doc(id, "src"+strconv.Itoa(rng.Intn(3)), strings.Join(parts, " "), at)
+}
+
+// TestMessageSimPartsBitEqual pins the tracing contract: the traced
+// breakdown accumulates in the exact sequence MessageSim uses, so its
+// Total is bit-identical — tracing can never flip a near-tie.
+func TestMessageSimPartsBitEqual(t *testing.T) {
+	w := DefaultMessageWeights()
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		a := randDoc(rng, tweet.ID(2*i+1))
+		b := randDoc(rng, tweet.ID(2*i+2))
+		if b.Msg.Date.Before(a.Msg.Date) {
+			a, b = b, a
+		}
+		p := MessageSimWithParts(w, a, b)
+		if plain := MessageSim(w, a, b); p.Total != plain {
+			t.Fatalf("case %d: parts total %v != MessageSim %v", i, p.Total, plain)
+		}
+		if sum := p.U + p.H + p.T + p.Keyword + p.RT; math.Abs(sum-p.Total) > 1e-12 {
+			t.Fatalf("case %d: components sum %v vs total %v", i, sum, p.Total)
+		}
+	}
+}
+
+// TestBundleSimPartsBitEqual is the Eq. 1 analogue: the traced
+// candidate breakdown must reproduce the engine's threshold comparison
+// bit-for-bit.
+func TestBundleSimPartsBitEqual(t *testing.T) {
+	w := DefaultBundleWeights()
+	rng := rand.New(rand.NewSource(43))
+	for i := 0; i < 500; i++ {
+		d := randDoc(rng, tweet.ID(i+1))
+		b := &fakeBundle{
+			tags: map[string]int{"redsox": rng.Intn(5), "tsunami": rng.Intn(5)},
+			urls: map[string]int{"bit.ly/x": rng.Intn(2), "t.co/z": rng.Intn(2)},
+			kws:  map[string]int{"lester": rng.Intn(6), "quake": rng.Intn(6), "game": rng.Intn(6)},
+			users: map[string]bool{
+				"src0": rng.Intn(2) == 0, "src1": rng.Intn(2) == 0,
+			},
+			last: base.Add(time.Duration(rng.Intn(48*3600)) * time.Second),
+		}
+		p := BundleSimWithParts(w, d, b)
+		if plain := BundleSim(w, d, b); p.Total != plain {
+			t.Fatalf("case %d: parts total %v != BundleSim %v", i, p.Total, plain)
+		}
+		if sum := p.URL + p.Tag + p.Keyword + p.RT + p.Freshness; math.Abs(sum-p.Total) > 1e-12 {
+			t.Fatalf("case %d: components sum %v vs total %v", i, sum, p.Total)
+		}
 	}
 }

@@ -14,6 +14,9 @@
 //	GET /stats          — engine snapshot as JSON
 //	GET /metrics        — Prometheus text exposition (WithRegistry only)
 //	GET /debug/pprof/*  — runtime profiles (WithPprof only)
+//	GET /explain?id=            — full decision trace of a sampled message (WithTrace only)
+//	GET /trace/recent?n=        — newest sampled decisions, compact (WithTrace only)
+//	GET /trace/refinements?n=   — Algorithm 3 eviction audit log (WithTrace only)
 //
 // Concurrency contract: a Server owns no state of its own beyond its
 // metrics instruments — every handler is a stateless translation
@@ -48,6 +51,7 @@ import (
 	"provex/internal/metrics"
 	"provex/internal/query"
 	"provex/internal/storage"
+	"provex/internal/trace"
 	"provex/internal/trending"
 )
 
@@ -70,6 +74,7 @@ type Server struct {
 	reg      *metrics.Registry
 	pprof    bool
 	inFlight *metrics.Gauge
+	trace    *trace.Recorder
 }
 
 // Option customises a Server.
@@ -90,6 +95,14 @@ func WithPprof() Option {
 	return func(s *Server) { s.pprof = true }
 }
 
+// WithTrace mounts the decision-tracing endpoints (/explain,
+// /trace/recent, /trace/refinements) over rec. The recorder's own
+// counters are the caller's to register (provserve registers them
+// alongside the engine's).
+func WithTrace(rec *trace.Recorder) Option {
+	return func(s *Server) { s.trace = rec }
+}
+
 // New builds a Server.
 func New(backend Backend, opts ...Option) *Server {
 	s := &Server{backend: backend, mux: http.NewServeMux()}
@@ -99,6 +112,7 @@ func New(backend Backend, opts ...Option) *Server {
 	if s.reg != nil {
 		s.inFlight = s.reg.Gauge("provex_http_in_flight_requests",
 			"Requests currently being handled.")
+		metrics.RegisterProcess(s.reg)
 		registerBackendMetrics(s.reg, backend)
 	}
 	s.handle("/", s.handleIndex)
@@ -109,6 +123,11 @@ func New(backend Backend, opts ...Option) *Server {
 	s.handle("/trending", s.handleTrending)
 	if s.reg != nil {
 		s.handle("/metrics", s.handleMetrics)
+	}
+	if s.trace != nil {
+		s.handle("/explain", s.handleExplain)
+		s.handle("/trace/recent", s.handleTraceRecent)
+		s.handle("/trace/refinements", s.handleTraceRefinements)
 	}
 	if s.pprof {
 		// pprof handlers stay uninstrumented: profile downloads run for
@@ -275,6 +294,9 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 <li><code>/trending?k=10</code> — hot bundles right now</li>
 <li><code>/stats</code> — engine statistics</li>
 <li><code>/metrics</code> — Prometheus text exposition</li>
+<li><code>/explain?id=N</code> — full ingest decision trace of a sampled message</li>
+<li><code>/trace/recent?n=20</code> — newest sampled ingest decisions</li>
+<li><code>/trace/refinements?n=20</code> — Algorithm 3 eviction audit log</li>
 </ul>`)
 }
 
@@ -444,6 +466,99 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"flush_parked":       st.FlushParked,
 		"degraded":           st.Degraded(),
 	})
+}
+
+// handleExplain serves the full decision breakdown for one traced
+// message. Unsampled (or rotated-out) IDs get a 404 whose hint
+// explains how to widen sampling, since "not traced" is the expected
+// case at any sampling rate above 1.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	idRaw := r.URL.Query().Get("id")
+	id, err := strconv.ParseUint(idRaw, 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "invalid id %q", idRaw)
+		return
+	}
+	d, ok := s.trace.Explain(id)
+	if !ok {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		_ = json.NewEncoder(w).Encode(map[string]string{
+			"error": fmt.Sprintf("message %d has no recorded decision", id),
+			"hint": fmt.Sprintf("tracing samples 1 in %d inserts and retains the last %d decisions; "+
+				"lower -trace-sample / raise -trace-buffer and re-ingest, or pick an id from /trace/recent",
+				max(s.trace.SampleEvery(), 1), s.trace.Buffer()),
+		})
+		return
+	}
+	writeJSON(w, d)
+}
+
+// traceRecentJSON is the compact wire form of one decision in
+// /trace/recent — enough to scan for interesting messages (and for
+// provload's quality digest) without the full candidate lists.
+type traceRecentJSON struct {
+	Seq        uint64  `json:"seq"`
+	MsgID      uint64  `json:"msg_id"`
+	Bundle     uint64  `json:"bundle"`
+	NewBundle  bool    `json:"new_bundle"`
+	Candidates int     `json:"candidates"`
+	BestScore  float64 `json:"best_score"`
+	Margin     float64 `json:"margin"`
+	Parent     int     `json:"parent"`
+	Conn       string  `json:"conn"`
+}
+
+func (s *Server) handleTraceRecent(w http.ResponseWriter, r *http.Request) {
+	n, ok := countParam(w, r, 20)
+	if !ok {
+		return
+	}
+	ds := s.trace.Recent(n)
+	out := make([]traceRecentJSON, 0, len(ds))
+	for _, d := range ds {
+		out = append(out, traceRecentJSON{
+			Seq:        d.Seq,
+			MsgID:      d.MsgID,
+			Bundle:     d.Bundle,
+			NewBundle:  d.NewBundle,
+			Candidates: len(d.Candidates),
+			BestScore:  d.BestScore,
+			Margin:     d.Margin,
+			Parent:     d.Parent,
+			Conn:       d.Conn,
+		})
+	}
+	writeJSON(w, map[string]interface{}{
+		"sample_every": s.trace.SampleEvery(),
+		"buffer":       s.trace.Buffer(),
+		"decisions":    out,
+	})
+}
+
+func (s *Server) handleTraceRefinements(w http.ResponseWriter, r *http.Request) {
+	n, ok := countParam(w, r, 20)
+	if !ok {
+		return
+	}
+	writeJSON(w, map[string]interface{}{
+		"refinements": s.trace.Refinements(n),
+	})
+}
+
+// countParam extracts n (bounded by the recorder's ring size, so the
+// default cap grows with -trace-buffer) or writes a 400.
+func countParam(w http.ResponseWriter, r *http.Request, def int) (int, bool) {
+	n := def
+	if nRaw := r.URL.Query().Get("n"); nRaw != "" {
+		v, err := strconv.Atoi(nRaw)
+		if err != nil || v < 1 {
+			httpError(w, http.StatusBadRequest, "invalid n %q", nRaw)
+			return 0, false
+		}
+		n = v
+	}
+	return n, true
 }
 
 // queryParams extracts q and k (default 10, max 100) or writes a 400.

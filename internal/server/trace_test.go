@@ -1,0 +1,165 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"provex/internal/core"
+	"provex/internal/query"
+	"provex/internal/trace"
+	"provex/internal/tweet"
+
+	"net/http/httptest"
+)
+
+// newTracedServer builds a server over an engine with SampleEvery=1
+// tracing, so every ingested message has an /explain breakdown.
+func newTracedServer(t *testing.T) (*httptest.Server, *trace.Recorder) {
+	t.Helper()
+	eng := core.New(core.FullIndexConfig(), nil, nil)
+	rec := trace.New(trace.Options{SampleEvery: 1, Buffer: 64})
+	eng.SetTracer(rec)
+	proc := query.New(eng, query.DefaultOptions())
+	base := time.Date(2009, 9, 17, 2, 0, 0, 0, time.UTC)
+	msgs := []struct {
+		user, text string
+	}{
+		{"wharman", "Lester down #redsox"},
+		{"amaliebenjamin", "Lester getting an ovation from the #yankee crowd #redsox"},
+		{"abcdude", "Classy RT @amaliebenjamin: Lester getting an ovation from the #yankee crowd #redsox"},
+	}
+	for i, m := range msgs {
+		proc.Insert(tweet.Parse(tweet.ID(i+1), m.user, base.Add(time.Duration(i)*time.Minute), m.text))
+	}
+	srv := httptest.NewServer(New(proc, WithTrace(rec)))
+	t.Cleanup(srv.Close)
+	return srv, rec
+}
+
+func TestExplain(t *testing.T) {
+	srv, _ := newTracedServer(t)
+	// Message 3 is the RT: it joins message 2's bundle with an rt edge,
+	// so its breakdown exercises every section.
+	out := getJSON(t, srv.URL+"/explain?id=3", 200)
+	if out["msg_id"].(float64) != 3 {
+		t.Errorf("msg_id = %v", out["msg_id"])
+	}
+	if out["new_bundle"].(bool) {
+		t.Error("RT reply recorded as a new bundle")
+	}
+	if th := out["threshold"].(float64); th <= 0 {
+		t.Errorf("threshold = %v", th)
+	}
+	cands, ok := out["candidates"].([]interface{})
+	if !ok || len(cands) == 0 {
+		t.Fatalf("candidates = %v", out["candidates"])
+	}
+	c0 := cands[0].(map[string]interface{})
+	for _, key := range []string{"bundle", "url", "hashtag", "keyword", "rt", "freshness", "total"} {
+		if _, ok := c0[key]; !ok {
+			t.Errorf("candidate missing component %q: %v", key, c0)
+		}
+	}
+	if out["conn"].(string) != "rt" {
+		t.Errorf("conn = %v, want rt", out["conn"])
+	}
+	parents, ok := out["parent_scores"].([]interface{})
+	if !ok || len(parents) == 0 {
+		t.Fatalf("parent_scores = %v", out["parent_scores"])
+	}
+	p0 := parents[0].(map[string]interface{})
+	for _, key := range []string{"node", "conn", "u", "h", "t", "keyword", "rt", "total"} {
+		if _, ok := p0[key]; !ok {
+			t.Errorf("parent score missing component %q: %v", key, p0)
+		}
+	}
+	if out["margin"].(float64) < 0 {
+		t.Errorf("margin = %v", out["margin"])
+	}
+}
+
+func TestExplainUnsampled(t *testing.T) {
+	srv, _ := newTracedServer(t)
+	out := getJSON(t, srv.URL+"/explain?id=99999", 404)
+	if _, ok := out["error"]; !ok {
+		t.Errorf("404 body missing error: %v", out)
+	}
+	hint, ok := out["hint"].(string)
+	if !ok || !strings.Contains(hint, "-trace-sample") {
+		t.Errorf("404 hint does not mention sampling: %v", out)
+	}
+	getJSON(t, srv.URL+"/explain?id=notanumber", 400)
+	getJSON(t, srv.URL+"/explain", 400)
+}
+
+func TestTraceRecent(t *testing.T) {
+	srv, _ := newTracedServer(t)
+	out := getJSON(t, srv.URL+"/trace/recent?n=2", 200)
+	if out["sample_every"].(float64) != 1 || out["buffer"].(float64) != 64 {
+		t.Errorf("ring header = %v", out)
+	}
+	ds, ok := out["decisions"].([]interface{})
+	if !ok || len(ds) != 2 {
+		t.Fatalf("decisions = %v", out["decisions"])
+	}
+	// Newest first: message 3, then 2.
+	first := ds[0].(map[string]interface{})
+	if first["msg_id"].(float64) != 3 {
+		t.Errorf("decisions[0].msg_id = %v, want 3", first["msg_id"])
+	}
+	id := strconv.Itoa(int(first["msg_id"].(float64)))
+	full := getJSON(t, srv.URL+"/explain?id="+id, 200)
+	if full["msg_id"].(float64) != first["msg_id"].(float64) {
+		t.Error("/trace/recent id does not resolve via /explain")
+	}
+	getJSON(t, srv.URL+"/trace/recent?n=0", 400)
+	getJSON(t, srv.URL+"/trace/recent?n=x", 400)
+}
+
+func TestTraceRefinements(t *testing.T) {
+	srv, rec := newTracedServer(t)
+	// The full-index config never refines in a 3-message test; record
+	// events directly to exercise the endpoint.
+	rec.RecordRefine(trace.RefineEvent{Bundle: 7, Reason: "ranked", Size: 3, GScore: 1.5, Rank: 1, Flushed: true})
+	rec.RecordRefine(trace.RefineEvent{Bundle: 8, Reason: "aging-tiny", Size: 1})
+	out := getJSON(t, srv.URL+"/trace/refinements?n=10", 200)
+	evs, ok := out["refinements"].([]interface{})
+	if !ok || len(evs) != 2 {
+		t.Fatalf("refinements = %v", out["refinements"])
+	}
+	newest := evs[0].(map[string]interface{})
+	if newest["bundle"].(float64) != 8 || newest["reason"].(string) != "aging-tiny" {
+		t.Errorf("refinements[0] = %v", newest)
+	}
+}
+
+func TestTraceEndpointsAbsentWithoutRecorder(t *testing.T) {
+	srv, _ := newTestServer(t) // no WithTrace
+	for _, path := range []string{"/explain?id=1", "/trace/recent", "/trace/refinements"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s = %d without a recorder, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestTraceMethodNotAllowed(t *testing.T) {
+	srv, _ := newTracedServer(t)
+	for _, path := range []string{"/explain?id=1", "/trace/recent", "/trace/refinements"} {
+		resp, err := http.Post(srv.URL+path, "application/json", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("POST %s = %d, want 405", path, resp.StatusCode)
+		}
+	}
+}

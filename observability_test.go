@@ -20,6 +20,7 @@ import (
 	"provex/internal/pipeline"
 	"provex/internal/query"
 	"provex/internal/server"
+	"provex/internal/trace"
 )
 
 // fullRegistry builds the union of every metric family the system can
@@ -42,7 +43,10 @@ func fullRegistry(t *testing.T) *metrics.Registry {
 	proc := query.New(dur.Engine(), query.DefaultOptions())
 	svc := pipeline.New(proc, pipeline.Options{Durable: dur})
 	svc.RegisterMetrics(reg)
-	server.New(svc, server.WithRegistry(reg)) // registers HTTP + backend-snapshot families
+	rec := trace.New(trace.Options{SampleEvery: 1})
+	rec.RegisterMetrics(reg)
+	// registers HTTP + backend-snapshot + build-info/process families
+	server.New(svc, server.WithRegistry(reg), server.WithTrace(rec))
 	return reg
 }
 
