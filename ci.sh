@@ -11,6 +11,33 @@ go build ./...
 echo "== go vet =="
 go vet ./...
 
+# provlint: the repo's own vettool (cmd/provlint) re-runs vet with the
+# four invariant analyzers — fsxdiscipline, durabilityerr, metricsreg,
+# hotpathalloc. A finding here is a positioned diagnostic and fails the
+# gate; deliberate exceptions carry //provlint:ignore with a reason.
+echo "== provlint (go vet -vettool) =="
+lint_tmp="$(mktemp -d)"
+trap 'rm -rf "$lint_tmp"' EXIT
+go build -o "$lint_tmp/provlint" ./cmd/provlint
+go vet -vettool="$lint_tmp/provlint" ./...
+
+# Fuzz smoke: each native fuzz target gets a short budget. The corpus
+# work happens offline; CI just proves the harnesses still run and the
+# seeds still pass.
+echo "== fuzz smoke =="
+go test ./internal/wal -fuzz FuzzOpenReplay -fuzztime 10s -run '^$'
+go test ./internal/tokenizer -fuzz FuzzTokenizeKeywords -fuzztime 10s -run '^$'
+go test ./internal/promtext -fuzz FuzzParse -fuzztime 10s -run '^$'
+
+# govulncheck is best-effort: it needs the tool and a vulndb, neither
+# of which an offline builder has.
+echo "== govulncheck (best effort) =="
+if command -v govulncheck >/dev/null 2>&1; then
+    govulncheck ./... || { echo "govulncheck: FAILED"; exit 1; }
+else
+    echo "govulncheck: not installed, skipping"
+fi
+
 echo "== go test =="
 go test ./...
 
@@ -39,7 +66,7 @@ go test -count=1 -run TestCrashTorture -v ./internal/pipeline | grep -E 'seed|PA
 echo "== provload vs provserve loopback =="
 obs_tmp="$(mktemp -d)"
 serve_pid=""
-trap '[ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null; rm -rf "$obs_tmp"' EXIT
+trap '[ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null; rm -rf "$obs_tmp" "$lint_tmp"' EXIT
 go build -o "$obs_tmp/provserve" ./cmd/provserve
 go build -o "$obs_tmp/provload" ./cmd/provload
 "$obs_tmp/provserve" -n 3000 -addr 127.0.0.1:18923 \

@@ -11,11 +11,13 @@ package main
 
 import (
 	"flag"
+	"io"
 	"log/slog"
 	"os"
 	"time"
 
 	"provex/internal/cli"
+	"provex/internal/fsx"
 	"provex/internal/gen"
 	"provex/internal/stream"
 )
@@ -60,9 +62,12 @@ func main() {
 		}
 	}
 
-	w := os.Stdout
+	// The generated dataset feeds the store via provingest, so its
+	// write goes through the fsx boundary like every other write on
+	// the durability path (fsxdiscipline enforces this).
+	w := io.Writer(os.Stdout)
 	if *out != "-" {
-		f, err := os.Create(*out)
+		f, err := fsx.OS{}.Create(*out)
 		if err != nil {
 			cli.Fatal("create output", err, "path", *out)
 		}

@@ -1,0 +1,23 @@
+// Command provlint is the repo's vettool: a suite of static analyzers
+// that mechanically enforce contracts the compiler cannot see — the
+// fsx fault-injection boundary, durability error discipline, metrics
+// registration, and hot-path allocation budgets.
+//
+// It speaks the `go vet` vettool protocol and is meant to be run as
+//
+//	go build -o /tmp/provlint ./cmd/provlint
+//	go vet -vettool=/tmp/provlint ./...
+//
+// (ci.sh does exactly this). Individual analyzers can be disabled with
+// -<name>=false vet flags; individual findings are silenced in place
+// with //provlint:ignore <analyzer> <reason> comments.
+package main
+
+import (
+	"provex/internal/analysis"
+	"provex/internal/analysis/analyzers"
+)
+
+func main() {
+	analysis.Main(analyzers.All()...)
+}

@@ -50,6 +50,7 @@ import (
 	"time"
 
 	"provex/internal/cli"
+	"provex/internal/promtext"
 	"provex/internal/trace"
 )
 
@@ -356,41 +357,6 @@ func fmtSummary(s LatencySummary) string {
 		s.Count, s.P50Ms, s.P90Ms, s.P99Ms, s.MaxMs)
 }
 
-// parseExposition reads Prometheus text format into series → value.
-// Malformed lines are errors: provload doubles as the CI check that a
-// live /metrics scrape is well-formed.
-func parseExposition(r io.Reader) (map[string]float64, error) {
-	out := map[string]float64{}
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	for sc.Scan() {
-		line := sc.Text()
-		if line == "" {
-			continue
-		}
-		if strings.HasPrefix(line, "#") {
-			if !strings.HasPrefix(line, "# HELP ") && !strings.HasPrefix(line, "# TYPE ") {
-				return nil, fmt.Errorf("malformed comment line %q", line)
-			}
-			continue
-		}
-		sp := strings.LastIndexByte(line, ' ')
-		if sp <= 0 {
-			return nil, fmt.Errorf("malformed sample line %q", line)
-		}
-		name, raw := line[:sp], line[sp+1:]
-		v, err := strconv.ParseFloat(raw, 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad value in %q: %v", line, err)
-		}
-		if i := strings.IndexByte(name, '{'); i >= 0 && !strings.HasSuffix(name, "}") {
-			return nil, fmt.Errorf("unterminated labels in %q", line)
-		}
-		out[name] = v
-	}
-	return out, sc.Err()
-}
-
 func scrape(client *http.Client, target string) (map[string]float64, error) {
 	resp, err := client.Get(target + "/metrics")
 	if err != nil {
@@ -403,7 +369,7 @@ func scrape(client *http.Client, target string) (map[string]float64, error) {
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("/metrics: status %d", resp.StatusCode)
 	}
-	return parseExposition(resp.Body)
+	return promtext.Parse(resp.Body)
 }
 
 // waitReady polls /stats until the server answers 200.

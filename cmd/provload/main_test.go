@@ -56,31 +56,6 @@ func TestSummarize(t *testing.T) {
 	}
 }
 
-func TestParseExposition(t *testing.T) {
-	good := `# HELP provex_x_total Things.
-# TYPE provex_x_total counter
-provex_x_total 41
-provex_y{a="b"} 2.5
-`
-	m, err := parseExposition(strings.NewReader(good))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if m["provex_x_total"] != 41 || m[`provex_y{a="b"}`] != 2.5 {
-		t.Errorf("parsed = %v", m)
-	}
-	for _, bad := range []string{
-		"# BOGUS comment\n",
-		"noval\n",
-		"provex_x notanumber\n",
-		`provex_x{a="b 1` + "\n",
-	} {
-		if _, err := parseExposition(strings.NewReader(bad)); err == nil {
-			t.Errorf("parseExposition accepted %q", bad)
-		}
-	}
-}
-
 // stubServer imitates just enough of provserve for a smoke run: the
 // query endpoints answer canned JSON and /metrics exposes a counter
 // that tracks real request traffic, so the delta must come out nonzero.

@@ -24,6 +24,7 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
+	//provlint:ignore fsxdiscipline scratch-dir cleanup in an example; nothing durable lives here
 	defer os.RemoveAll(dir)
 
 	store, err := storage.Open(dir, storage.Options{SyncEvery: 64})

@@ -1,0 +1,141 @@
+// Package analysis is a dependency-light reimplementation of the core
+// of golang.org/x/tools/go/analysis: named analyzers that inspect one
+// type-checked package and report positioned diagnostics, plus a
+// unitchecker-style driver speaking the `go vet -vettool` protocol.
+//
+// The repo builds offline (no module proxy), so the x/tools module is
+// not available; everything here rests on the standard library only
+// (go/ast, go/types, go/importer). The API deliberately mirrors
+// x/tools so analyzers could migrate to the real framework with
+// mechanical edits if the dependency ever becomes available.
+//
+// Analyzers encode repo contracts the compiler cannot see — the fsx
+// fault-injection boundary, durability error discipline, metrics
+// registration, hot-path allocation budgets. See internal/analysis/analyzers.
+//
+// Suppression: a diagnostic may be silenced in place with
+//
+//	//provlint:ignore <analyzer>[,<analyzer>] <reason>
+//
+// on the offending line or the line directly above it. The reason is
+// mandatory; a directive without one is itself reported. See ignore.go.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check over a single package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, enable/disable
+	// flags, and //provlint:ignore directives. Lowercase, no spaces.
+	Name string
+
+	// Doc is the analyzer's documentation: first line is a one-line
+	// summary, the rest explains the contract it enforces and why.
+	Doc string
+
+	// Run applies the analyzer to one package, reporting findings via
+	// pass.Report / pass.Reportf. A non-nil error aborts the whole
+	// provlint run (reserved for internal failures, not findings).
+	Run func(pass *Pass) error
+}
+
+// A Pass provides one analyzer with a single type-checked package and
+// a sink for diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// A Diagnostic is one positioned finding.
+type Diagnostic struct {
+	AnalyzerName string
+	Pos          token.Pos
+	Message      string
+}
+
+// Report records one finding.
+func (p *Pass) Report(d Diagnostic) {
+	d.AnalyzerName = p.Analyzer.Name
+	p.report(d)
+}
+
+// Reportf records one finding at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Position resolves pos against the pass's file set.
+func (p *Pass) Position(pos token.Pos) token.Position {
+	return p.Fset.Position(pos)
+}
+
+// InTestFile reports whether pos falls in a _test.go file. The provlint
+// contracts protect production paths; tests legitimately reach around
+// them (raw os for fixtures, deliberately dropped errors), so most
+// analyzers skip test files wholesale.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// RunAnalyzers applies every analyzer to the package, filters the
+// findings through //provlint:ignore directives, appends a diagnostic
+// for each malformed directive, and returns everything sorted by
+// position. It is the shared core of the unitchecker driver and the
+// analysistest harness, so suppression semantics cannot drift between
+// CI and the analyzer tests.
+func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
+	sup := ScanSuppressions(fset, files)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !sup.Suppressed(d.AnalyzerName, fset.Position(d.Pos)) {
+			kept = append(kept, d)
+		}
+	}
+	kept = append(kept, sup.Malformed...)
+	sort.Slice(kept, func(i, j int) bool {
+		pi, pj := fset.Position(kept[i].Pos), fset.Position(kept[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return kept[i].Message < kept[j].Message
+	})
+	return kept, nil
+}
+
+// TypesSizes returns the standard gc sizes model used when
+// type-checking for analysis.
+func TypesSizes(goarch string) types.Sizes {
+	return types.SizesFor("gc", goarch)
+}

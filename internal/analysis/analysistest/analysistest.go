@@ -1,0 +1,243 @@
+// Package analysistest runs a provlint analyzer over fixture packages
+// under testdata/src and checks its diagnostics against // want
+// comments, mirroring golang.org/x/tools/go/analysis/analysistest
+// closely enough that fixtures read identically.
+//
+// Fixtures are self-contained: imports resolve against testdata/src
+// only (including stubs for "os", "fmt", and the provex packages the
+// analyzers match on), never against the real module or GOROOT, so
+// the tests are hermetic and fast. A fixture line expects diagnostics
+// with a trailing comment:
+//
+//	f, _ := os.Create("x") // want `os\.Create bypasses`
+//
+// Each backquoted or double-quoted string is a regexp that must match
+// exactly one diagnostic reported on that line; diagnostics with no
+// matching want (and wants with no diagnostic) fail the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"provex/internal/analysis"
+)
+
+// TestDataDir is where fixture packages live, relative to the test.
+const TestDataDir = "testdata/src"
+
+// Run loads each fixture package (a directory under testdata/src),
+// type-checks it hermetically, applies the analyzer (including the
+// shared //provlint:ignore suppression pass), and compares
+// diagnostics against the // want expectations.
+func Run(t *testing.T, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	for _, pkgPath := range pkgPaths {
+		t.Run(a.Name+"/"+pkgPath, func(t *testing.T) {
+			runOne(t, a, pkgPath)
+		})
+	}
+}
+
+func runOne(t *testing.T, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	imp := &fixtureImporter{
+		root:     TestDataDir,
+		fset:     token.NewFileSet(),
+		packages: make(map[string]*fixturePkg),
+	}
+	fp, err := imp.load(pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture package %q: %v", pkgPath, err)
+	}
+	diags, err := analysis.RunAnalyzers(imp.fset, fp.files, fp.pkg, fp.info, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %q: %v", a.Name, pkgPath, err)
+	}
+	checkWants(t, imp.fset, fp.files, diags)
+}
+
+// fixturePkg is one loaded fixture package.
+type fixturePkg struct {
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+// fixtureImporter type-checks fixture packages rooted at testdata/src,
+// resolving imports recursively against the same tree.
+type fixtureImporter struct {
+	root     string
+	fset     *token.FileSet
+	packages map[string]*fixturePkg
+	loading  []string // cycle detection
+}
+
+var _ types.Importer = (*fixtureImporter)(nil)
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	fp, err := fi.load(path)
+	if err != nil {
+		return nil, err
+	}
+	return fp.pkg, nil
+}
+
+func (fi *fixtureImporter) load(path string) (*fixturePkg, error) {
+	if fp, ok := fi.packages[path]; ok {
+		return fp, nil
+	}
+	for _, p := range fi.loading {
+		if p == path {
+			return nil, fmt.Errorf("fixture import cycle through %q", path)
+		}
+	}
+	fi.loading = append(fi.loading, path)
+	defer func() { fi.loading = fi.loading[:len(fi.loading)-1] }()
+
+	dir := filepath.Join(fi.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("fixture package %q is not stubbed under %s: %w", path, fi.root, err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("fixture package %q has no .go files", path)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fi.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := &types.Config{
+		Importer: fi,
+		Sizes:    analysis.TypesSizes("amd64"),
+	}
+	pkg, err := conf.Check(path, fi.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typechecking fixture %q: %w", path, err)
+	}
+	fp := &fixturePkg{files: files, pkg: pkg, info: info}
+	fi.packages[path] = fp
+	return fp, nil
+}
+
+// want is one expectation: a regexp at a file:line.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// wantRE requires the pattern to start with a quote so prose that
+// merely contains the word "want" is not mistaken for an expectation.
+var wantRE = regexp.MustCompile("//\\s*want\\s+([\"`].*)$")
+
+func parseWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, pat := range splitPatterns(t, m[1], pos) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitPatterns extracts the quoted (double-quote or backquote)
+// patterns from the tail of a want comment.
+func splitPatterns(t *testing.T, s string, pos token.Position) []string {
+	t.Helper()
+	var pats []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var quote byte = s[0]
+		if quote != '"' && quote != '`' {
+			t.Fatalf("%s: want patterns must be quoted strings, got %q", pos, s)
+		}
+		end := 1
+		for ; end < len(s); end++ {
+			if s[end] == quote && (quote == '`' || s[end-1] != '\\') {
+				break
+			}
+		}
+		if end == len(s) {
+			t.Fatalf("%s: unterminated want pattern %q", pos, s)
+		}
+		raw := s[:end+1]
+		pat, err := strconv.Unquote(raw)
+		if err != nil {
+			t.Fatalf("%s: cannot unquote want pattern %s: %v", pos, raw, err)
+		}
+		pats = append(pats, pat)
+		s = strings.TrimSpace(s[end+1:])
+	}
+	return pats
+}
+
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := parseWants(t, fset, files)
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s [%s]", pos, d.Message, d.AnalyzerName)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package analyzers
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"provex/internal/analysis/analysistest"
+)
+
+func TestFsxDiscipline(t *testing.T) {
+	analysistest.Run(t, FsxDiscipline, "fsxdiscipline")
+}
+
+func TestDurabilityErr(t *testing.T) {
+	analysistest.Run(t, DurabilityErr, "durabilityerr")
+}
+
+func TestMetricsReg(t *testing.T) {
+	analysistest.Run(t, MetricsReg, "metricsreg")
+}
+
+func TestHotPathAlloc(t *testing.T) {
+	analysistest.Run(t, HotPathAlloc, "hotpathalloc")
+}
+
+// TestSuppression runs fsxdiscipline over a fixture where some
+// violations carry //provlint:ignore directives: suppressed lines must
+// stay silent, mismatched or out-of-range directives must not.
+func TestSuppression(t *testing.T) {
+	analysistest.Run(t, FsxDiscipline, "suppress")
+}
+
+// TestEveryAnalyzerHasFixture is the meta-test: each analyzer wired
+// into provlint must ship a testdata fixture that demonstrably makes
+// it fire, so a new analyzer cannot land untested.
+func TestEveryAnalyzerHasFixture(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, a := range All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v is missing Name, Doc or Run", a)
+			continue
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+
+		dir := filepath.Join("testdata", "src", a.Name)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Errorf("analyzer %q has no fixture package under testdata/src/%s: %v", a.Name, a.Name, err)
+			continue
+		}
+		hasWant := false
+		for _, e := range entries {
+			if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bytes.Contains(data, []byte("// want ")) {
+				hasWant = true
+			}
+		}
+		if !hasWant {
+			t.Errorf("fixture for analyzer %q has no // want expectations: it cannot prove the analyzer fires", a.Name)
+		}
+	}
+}

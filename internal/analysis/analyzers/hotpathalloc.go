@@ -1,0 +1,288 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"provex/internal/analysis"
+)
+
+// HotPathAlloc turns the runtime TestHotPathZeroAlloc pin into a
+// compile-time diagnostic: functions annotated //provex:hotpath are
+// scanned for constructs that allocate (or may allocate) on every
+// call, with precise positions instead of a single "N allocs/op"
+// number after the fact.
+var HotPathAlloc = &analysis.Analyzer{
+	Name: "hotpathalloc",
+	Doc: `allocating construct inside a //provex:hotpath function
+
+Functions whose doc comment carries a //provex:hotpath line are on the
+per-message ingest path with tracing off (metric increments, the trace
+recorder's disabled branch, summary-index candidate lookup). PR 1/4
+pinned these to 0 allocs/op at runtime; this analyzer pins the same
+budget syntactically. Flagged constructs:
+
+  - fmt.* calls (Sprintf and friends format into fresh strings and box
+    every argument);
+  - string concatenation inside a loop;
+  - map/slice composite literals, make(), new(), &T{...} literals;
+  - string<->[]byte/[]rune conversions;
+  - function literals (closure headers allocate when they capture);
+  - implicit interface conversions of concrete non-pointer values
+    (argument passing, assignment, return) — boxing allocates.
+
+append() is deliberately not flagged: the scratch-slab pattern the
+sumindex uses amortises it, and the runtime pin still guards the
+aggregate. A deliberate slow path inside a hot function (e.g. the
+sampled branch of trace.Begin) carries a
+//provlint:ignore hotpathalloc <reason>.
+
+To annotate a new hot path: add //provex:hotpath to the function's doc
+comment, run ci.sh, and either fix or justify every finding; keep the
+function covered by a zero-alloc benchmark or AllocsPerRun pin so the
+static budget and the measured one stay in agreement.`,
+	Run: runHotPathAlloc,
+}
+
+const hotpathMarker = "provex:hotpath"
+
+// isHotPath reports whether the function declaration carries the
+// //provex:hotpath annotation in its doc comment.
+func isHotPath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		text := strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), " ")
+		if strings.HasPrefix(text, hotpathMarker) {
+			return true
+		}
+	}
+	return false
+}
+
+func runHotPathAlloc(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotPath(fd) {
+				continue
+			}
+			checkHotFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkHotFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	var results *types.Tuple
+	if sig, ok := info.TypeOf(fd.Name).(*types.Signature); ok {
+		results = sig.Results()
+	}
+	// m[string(b)] compiles to an allocation-free lookup — the
+	// compiler elides the conversion when the string is only used as a
+	// map key. Collect those conversions up front so the conversion
+	// check below skips them.
+	elidedConv := make(map[*ast.CallExpr]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ix, ok := n.(*ast.IndexExpr)
+		if !ok {
+			return true
+		}
+		if t := info.TypeOf(ix.X); t != nil {
+			if _, isMap := types.Unalias(t).Underlying().(*types.Map); isMap {
+				if conv, ok := ast.Unparen(ix.Index).(*ast.CallExpr); ok {
+					elidedConv[conv] = true
+				}
+			}
+		}
+		return true
+	})
+	loopDepth := 0
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loopDepth++
+			ast.Inspect(n, func(m ast.Node) bool {
+				if m == n {
+					return true
+				}
+				return walk(m)
+			})
+			loopDepth--
+			return false
+
+		case *ast.FuncLit:
+			pass.Reportf(x.Pos(), "function literal in hot path: closures allocate when they capture (hoist it or pass state explicitly)")
+			return false // don't double-report the closure's own body
+
+		case *ast.CompositeLit:
+			switch types.Unalias(info.TypeOf(x)).Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(x.Pos(), "map literal allocates in hot path")
+			case *types.Slice:
+				pass.Reportf(x.Pos(), "slice literal allocates in hot path")
+			}
+
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if lit, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+					pass.Reportf(x.Pos(), "&%s{...} escapes to the heap in hot path", typeLabel(info, lit))
+				}
+			}
+
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && loopDepth > 0 && isStringType(info.TypeOf(x)) {
+				pass.Reportf(x.Pos(), "string concatenation in loop allocates per iteration (use a reused []byte buffer)")
+			}
+
+		case *ast.AssignStmt:
+			if x.Tok == token.ADD_ASSIGN && loopDepth > 0 && len(x.Lhs) == 1 && isStringType(info.TypeOf(x.Lhs[0])) {
+				pass.Reportf(x.Pos(), "string concatenation in loop allocates per iteration (use a reused []byte buffer)")
+			}
+			checkAssignBoxing(pass, x)
+
+		case *ast.ReturnStmt:
+			if results != nil && results.Len() == len(x.Results) {
+				for i, res := range x.Results {
+					checkBoxed(pass, res, results.At(i).Type(), "returned")
+				}
+			}
+
+		case *ast.CallExpr:
+			checkCall(pass, x, elidedConv)
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+}
+
+func typeLabel(info *types.Info, e ast.Expr) string {
+	t := info.TypeOf(e)
+	if t == nil {
+		return "composite"
+	}
+	s := t.String()
+	if i := strings.LastIndexByte(s, '/'); i >= 0 {
+		s = s[i+1:]
+	}
+	return s
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := types.Unalias(t).Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := types.Unalias(t).Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := types.Unalias(s.Elem()).Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+}
+
+// checkBoxed reports exp if assigning/passing it to target requires an
+// allocating interface conversion: concrete, non-pointer value into an
+// interface. Pointers and interfaces fit the iface data word; nil is
+// free.
+func checkBoxed(pass *analysis.Pass, exp ast.Expr, target types.Type, how string) {
+	if target == nil || !types.IsInterface(target) {
+		return
+	}
+	at := pass.TypesInfo.TypeOf(exp)
+	if at == nil || types.IsInterface(at) {
+		return
+	}
+	switch types.Unalias(at).Underlying().(type) {
+	case *types.Pointer, *types.Signature, *types.Map, *types.Chan, *types.Slice:
+		// Fits (or is) a single pointer word; conversion may still
+		// allocate for slices? Slices are 3 words — they do allocate.
+		if _, isSlice := types.Unalias(at).Underlying().(*types.Slice); !isSlice {
+			return
+		}
+	}
+	if b, ok := types.Unalias(at).Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	pass.Reportf(exp.Pos(), "%s value boxes %s into interface %s: interface conversion allocates in hot path", how, at, target)
+}
+
+func checkAssignBoxing(pass *analysis.Pass, x *ast.AssignStmt) {
+	if len(x.Lhs) != len(x.Rhs) {
+		return
+	}
+	for i := range x.Lhs {
+		lt := pass.TypesInfo.TypeOf(x.Lhs[i])
+		checkBoxed(pass, x.Rhs[i], lt, "assigned")
+	}
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, elidedConv map[*ast.CallExpr]bool) {
+	info := pass.TypesInfo
+
+	// Builtins and conversions.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make":
+				pass.Reportf(call.Pos(), "make() allocates in hot path (preallocate outside, or reuse a scratch buffer)")
+			case "new":
+				pass.Reportf(call.Pos(), "new() allocates in hot path")
+			}
+			return
+		}
+	}
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		// Conversion: string <-> []byte/[]rune copies.
+		target := tv.Type
+		if len(call.Args) == 1 {
+			src := info.TypeOf(call.Args[0])
+			if !elidedConv[call] &&
+				((isStringType(target) && isByteOrRuneSlice(src)) || (isByteOrRuneSlice(target) && isStringType(src))) {
+				pass.Reportf(call.Pos(), "%s <-> %s conversion copies in hot path", src, target)
+			}
+			if types.IsInterface(target) {
+				checkBoxed(pass, call.Args[0], target, "converted")
+			}
+		}
+		return
+	}
+
+	// fmt.* calls.
+	if fn := callee(info, call); fn != nil {
+		if _, recvType := recvTypeName(fn); recvType == "" && funcPkgPath(fn) == "fmt" {
+			pass.Reportf(call.Pos(), "fmt.%s formats into fresh allocations and boxes its arguments in hot path", fn.Name())
+			return
+		}
+	}
+
+	// Implicit interface boxing of arguments.
+	sig, ok := types.Unalias(info.TypeOf(call.Fun)).Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				pt = params.At(params.Len() - 1).Type() // []T passed whole
+			} else if s, ok := types.Unalias(params.At(params.Len() - 1).Type()).Underlying().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		checkBoxed(pass, arg, pt, "passed")
+	}
+}

@@ -1,0 +1,17 @@
+// Package analyzers holds the provlint analyzer suite. Each analyzer
+// encodes one contract this repo's earlier PRs established at runtime
+// and promotes it to a build-time check; registry.go is the single
+// list the provlint binary, the meta-test, and the docs all key off.
+package analyzers
+
+import "provex/internal/analysis"
+
+// All returns every provlint analyzer, in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		FsxDiscipline,
+		DurabilityErr,
+		MetricsReg,
+		HotPathAlloc,
+	}
+}

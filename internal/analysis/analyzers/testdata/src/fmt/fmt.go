@@ -1,0 +1,7 @@
+// Package fmt is a hermetic stub of the standard library's fmt package
+// for the analyzer fixtures.
+package fmt
+
+func Sprintf(format string, a ...any) string { return format }
+func Sprint(a ...any) string                 { return "" }
+func Errorf(format string, a ...any) error   { return nil }

@@ -1,0 +1,64 @@
+// Package fixture exercises the fsxdiscipline analyzer: raw os
+// mutations are flagged, fsx-routed writes and std-stream writes are
+// not.
+package fixture
+
+import (
+	"os"
+
+	"provex/internal/fsx"
+)
+
+func rawWrites(name string) error {
+	f, err := os.Create(name) // want `os\.Create bypasses the fsx fault-injection boundary`
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("x")); err != nil { // want `\(\*os\.File\)\.Write bypasses the fsx fault-injection boundary`
+		return err
+	}
+	if err := f.Sync(); err != nil { // want `\(\*os\.File\)\.Sync bypasses the fsx fault-injection boundary`
+		return err
+	}
+	g, err := os.OpenFile(name, os.O_WRONLY|os.O_CREATE, 0o644) // want `os\.OpenFile bypasses the fsx fault-injection boundary`
+	if err != nil {
+		return err
+	}
+	if _, err := g.WriteString("y"); err != nil { // want `\(\*os\.File\)\.WriteString bypasses the fsx fault-injection boundary`
+		return err
+	}
+	if err := os.Rename(name, name+".new"); err != nil { // want `os\.Rename bypasses the fsx fault-injection boundary`
+		return err
+	}
+	if err := os.RemoveAll(name); err != nil { // want `os\.RemoveAll bypasses the fsx fault-injection boundary`
+		return err
+	}
+	return os.WriteFile(name, nil, 0o644) // want `os\.WriteFile bypasses the fsx fault-injection boundary`
+}
+
+func fsxRouted(fsys fsx.FS, name string) error {
+	f, err := fsys.Create(name)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := fsys.Rename(name, name+".new"); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func readsAndStreams(name string) ([]byte, error) {
+	if _, err := os.Stdout.Write([]byte("progress\n")); err != nil {
+		return nil, err
+	}
+	if _, err := os.Stderr.WriteString("note\n"); err != nil {
+		return nil, err
+	}
+	return os.ReadFile(name)
+}

@@ -1,0 +1,9 @@
+// Test files are exempt from fsxdiscipline: raw os here carries no
+// want comments and must produce no diagnostics.
+package fixture
+
+import "os"
+
+func helperUsedInTestsOnly(name string) error {
+	return os.WriteFile(name, []byte("scratch"), 0o644)
+}

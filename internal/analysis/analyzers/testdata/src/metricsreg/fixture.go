@@ -1,0 +1,55 @@
+// Package fixture exercises the metricsreg analyzer: instruments that
+// never reach a Registry are flagged; registered instruments and
+// read-locally report aggregates are not.
+package fixture
+
+import "provex/internal/metrics"
+
+// orphan is written but never registered — its series silently
+// vanishes from /metrics.
+var orphan metrics.Counter // want `metrics\.Counter variable "orphan" is never registered`
+
+func touchOrphan() { orphan.Inc() }
+
+type server struct {
+	requests metrics.Counter // want `metrics\.Counter field "requests" is never registered`
+	inFlight *metrics.Gauge
+	lat      *metrics.Histogram
+}
+
+func newServer(reg *metrics.Registry) *server {
+	s := &server{}
+	// Built via the Registry: registered by construction.
+	s.inFlight = reg.Gauge("in_flight", "requests in flight")
+	// Bare construction, salvaged by an explicit Register call below.
+	s.lat = metrics.NewHistogram(1, 2, 3)
+	reg.RegisterHistogram("latency_us", "request latency", s.lat)
+	return s
+}
+
+func (s *server) handle() {
+	s.requests.Inc() // write-only use does not register anything
+	s.inFlight.Add(1)
+	s.lat.Observe(7)
+}
+
+func leaked() {
+	h := metrics.NewPow2Histogram(8) // want `metrics\.Histogram variable "h" is never registered`
+	h.Observe(5)
+}
+
+// localReport builds a throwaway histogram, reads it and returns the
+// aggregate — a legitimate local use that must not be flagged.
+func localReport(samples []int64) int64 {
+	h := metrics.NewHistogram(1, 10, 100)
+	for _, v := range samples {
+		h.Observe(v)
+	}
+	return h.Quantile(0.99)
+}
+
+func registered(reg *metrics.Registry) {
+	c := &metrics.Counter{}
+	reg.RegisterCounter("ok_total", "successes", c)
+	c.Inc()
+}

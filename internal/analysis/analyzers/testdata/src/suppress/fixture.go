@@ -1,0 +1,30 @@
+// Package fixture exercises the //provlint:ignore directive: a
+// suppressed violation draws no diagnostic, a directive naming a
+// different analyzer does not apply, and an unsuppressed twin still
+// fires.
+package fixture
+
+import "os"
+
+func cleanup(dir string) {
+	//provlint:ignore fsxdiscipline scratch-dir cleanup in a fixture; nothing durable lives here
+	os.RemoveAll(dir)
+
+	os.RemoveAll(dir) //provlint:ignore fsxdiscipline trailing-comment form is also honoured
+
+	os.RemoveAll(dir) // want `os\.RemoveAll bypasses the fsx fault-injection boundary`
+
+	//provlint:ignore otheranalyzer directive names a different analyzer, so this still fires
+	os.RemoveAll(dir) // want `os\.RemoveAll bypasses the fsx fault-injection boundary`
+}
+
+func multi(dir string) error {
+	//provlint:ignore fsxdiscipline,durabilityerr comma-separated analyzer list
+	os.RemoveAll(dir)
+
+	// A directive only reaches its own line and the next: two lines
+	// down is out of range.
+	//provlint:ignore fsxdiscipline suppressed line
+	os.RemoveAll(dir)
+	return os.RemoveAll(dir) // want `os\.RemoveAll bypasses the fsx fault-injection boundary`
+}

@@ -1,0 +1,105 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// pkgPathMatches reports whether the fully-qualified package path is
+// the wanted package. want is either a full path ("os") or a
+// module-relative suffix ("internal/fsx"), so the same tables match
+// the real tree ("provex/internal/fsx") and the analysistest fixtures
+// (whose stubs live under testdata/src/provex/...).
+func pkgPathMatches(path, want string) bool {
+	return path == want || strings.HasSuffix(path, "/"+want)
+}
+
+// callee resolves the *types.Func a call invokes: a package-level
+// function, a method (through Selections), or nil for builtins,
+// conversions, and calls through function-typed values.
+func callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		// Qualified identifier: pkg.Func.
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// namedOf unwraps pointers and aliases down to a *types.Named, or nil.
+func namedOf(t types.Type) *types.Named {
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// recvTypeName returns the package path and type name of a method's
+// receiver, or ("", "") for package-level functions.
+func recvTypeName(fn *types.Func) (pkgPath, typeName string) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", ""
+	}
+	named := namedOf(sig.Recv().Type())
+	if named == nil || named.Obj().Pkg() == nil {
+		return "", ""
+	}
+	return named.Obj().Pkg().Path(), named.Obj().Name()
+}
+
+// funcPkgPath returns the defining package path of fn ("" for
+// error.Error and other universe-scope methods).
+func funcPkgPath(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// isNamedType reports whether t (after unwrapping pointers/aliases)
+// is the named type pkg.name, with pkg matched per pkgPathMatches.
+func isNamedType(t types.Type, pkg, name string) bool {
+	n := namedOf(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Name() == name && pkgPathMatches(n.Obj().Pkg().Path(), pkg)
+}
+
+// walkWithStack traverses every file, invoking fn with each node and
+// the stack of its ancestors (outermost first, not including n).
+// Returning false prunes the subtree.
+func walkWithStack(files []*ast.File, fn func(n ast.Node, stack []ast.Node) bool) {
+	for _, f := range files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if !fn(n, stack) {
+				// Pruned subtrees get no closing nil visit, so the node
+				// is never pushed.
+				return false
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+}

@@ -1,0 +1,89 @@
+// Suppression directives. A finding that is deliberate — a cmd tool
+// writing a report straight to disk, a sampled slow path inside an
+// annotated hot function — is silenced in place, next to the code it
+// excuses, with a mandatory reason:
+//
+//	//provlint:ignore fsxdiscipline bench report, never read by the store
+//
+// The directive names the analyzer(s) it silences (comma-separated)
+// and applies to diagnostics on its own line (trailing comment) or on
+// the line directly below it (comment above the statement). A
+// directive with no analyzer name or no reason is itself reported —
+// an unexplained suppression is exactly the kind of silent contract
+// erosion provlint exists to stop.
+
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+const ignorePrefix = "provlint:ignore"
+
+type directive struct {
+	analyzers []string
+}
+
+// Suppressions is the per-package index of //provlint:ignore
+// directives, built once and consulted for every diagnostic.
+type Suppressions struct {
+	// byLine maps filename → line → directives covering that line.
+	byLine map[string]map[int][]directive
+	// Malformed holds one diagnostic per syntactically bad directive.
+	Malformed []Diagnostic
+}
+
+// ScanSuppressions walks every comment in files and indexes the
+// ignore directives.
+func ScanSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
+	s := &Suppressions{byLine: make(map[string]map[int][]directive)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				// Directives follow the //go:build convention: no space
+				// after //, so prose that merely mentions the directive
+				// never triggers it.
+				rest, ok := strings.CutPrefix(c.Text, "//"+ignorePrefix)
+				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					s.Malformed = append(s.Malformed, Diagnostic{
+						AnalyzerName: "provlint",
+						Pos:          c.Pos(),
+						Message:      "malformed //provlint:ignore directive: want //provlint:ignore <analyzer>[,<analyzer>] <reason>",
+					})
+					continue
+				}
+				d := directive{analyzers: strings.Split(fields[0], ",")}
+				pos := fset.Position(c.Pos())
+				if s.byLine[pos.Filename] == nil {
+					s.byLine[pos.Filename] = make(map[int][]directive)
+				}
+				// A trailing comment excuses its own line; a comment on
+				// its own line excuses the statement below. Both are
+				// registered — the harmless over-approximation keeps the
+				// scanner source-free (it never needs the raw line text).
+				s.byLine[pos.Filename][pos.Line] = append(s.byLine[pos.Filename][pos.Line], d)
+				s.byLine[pos.Filename][pos.Line+1] = append(s.byLine[pos.Filename][pos.Line+1], d)
+			}
+		}
+	}
+	return s
+}
+
+// Suppressed reports whether a diagnostic from the named analyzer at
+// pos is covered by a directive.
+func (s *Suppressions) Suppressed(analyzer string, pos token.Position) bool {
+	for _, d := range s.byLine[pos.Filename][pos.Line] {
+		for _, name := range d.analyzers {
+			if name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}

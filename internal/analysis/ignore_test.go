@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func scan(t *testing.T, src string) (*token.FileSet, *Suppressions) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, ScanSuppressions(fset, []*ast.File{f})
+}
+
+func TestScanSuppressionsCoverage(t *testing.T) {
+	fset, s := scan(t, `package p
+
+func f() {
+	//provlint:ignore fsxdiscipline justified: scratch file
+	g()
+	g()
+	g() //provlint:ignore durabilityerr,metricsreg trailing, two analyzers
+}
+
+func g() {}
+`)
+	_ = fset
+	at := func(line int) token.Position {
+		return token.Position{Filename: "fixture.go", Line: line}
+	}
+	// Line 4 is the directive, line 5 the statement below: both covered.
+	if !s.Suppressed("fsxdiscipline", at(4)) || !s.Suppressed("fsxdiscipline", at(5)) {
+		t.Error("directive above a statement must cover its own line and the next")
+	}
+	// Line 6 is two lines below the directive: out of range.
+	if s.Suppressed("fsxdiscipline", at(6)) {
+		t.Error("directive must not reach two lines below itself")
+	}
+	// The trailing directive on line 7 covers both named analyzers
+	// on its own line, and only those.
+	if !s.Suppressed("durabilityerr", at(7)) || !s.Suppressed("metricsreg", at(7)) {
+		t.Error("comma-separated analyzer list must suppress every named analyzer")
+	}
+	if s.Suppressed("fsxdiscipline", at(7)) {
+		t.Error("directive must not suppress analyzers it does not name")
+	}
+	if len(s.Malformed) != 0 {
+		t.Errorf("well-formed directives reported as malformed: %v", s.Malformed)
+	}
+}
+
+func TestScanSuppressionsMalformed(t *testing.T) {
+	for _, src := range []string{
+		"package p\n\n//provlint:ignore\nfunc f() {}\n",               // no analyzer, no reason
+		"package p\n\n//provlint:ignore fsxdiscipline\nfunc f() {}\n", // analyzer but no reason
+	} {
+		_, s := scan(t, src)
+		if len(s.Malformed) != 1 {
+			t.Errorf("source %q: got %d malformed diagnostics, want 1", src, len(s.Malformed))
+			continue
+		}
+		if !strings.Contains(s.Malformed[0].Message, "malformed //provlint:ignore") {
+			t.Errorf("unexpected malformed message %q", s.Malformed[0].Message)
+		}
+	}
+}
+
+func TestScanSuppressionsIgnoresProse(t *testing.T) {
+	// A space after // (prose style) or a mid-sentence mention must not
+	// register a directive or a malformed report.
+	_, s := scan(t, `package p
+
+// provlint:ignore directives look like this, but this comment is prose.
+// See the docs on provlint:ignore for details.
+func f() {}
+`)
+	if len(s.Malformed) != 0 {
+		t.Errorf("prose mentioning the directive reported as malformed: %v", s.Malformed)
+	}
+	if s.Suppressed("fsxdiscipline", token.Position{Filename: "fixture.go", Line: 4}) {
+		t.Error("prose comment must not suppress anything")
+	}
+}

@@ -1,0 +1,264 @@
+// The `go vet -vettool` driver. The go command runs a vettool once per
+// package ("unit"), handing it a JSON config file describing the
+// package's sources and the export-data files of every import. The
+// protocol, reverse-engineered from cmd/go and x/tools/go/analysis/unitchecker:
+//
+//  1. `tool -V=full` must print a stable identification line the go
+//     command hashes into its build cache key.
+//  2. `tool -flags` must print a JSON array describing the tool's
+//     flags, so `go vet` can partition its command line.
+//  3. `tool <args> <file>.cfg` analyzes one package and must (a) write
+//     the facts file named by cfg.VetxOutput — provlint carries no
+//     facts, so it writes a constant placeholder — and (b) exit 0 on
+//     success, 2 when diagnostics were reported (printed to stderr as
+//     file:line:col: message [analyzer]).
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Config mirrors the JSON vet configuration the go command writes for
+// -vettool invocations (cmd/go/internal/work.vetConfig). Fields the
+// driver does not consult are still listed so the decode is strict
+// about nothing and future-proof about everything.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetxPlaceholder is what provlint writes as its "facts" output: the
+// go command demands the file exist for caching, but provlint's
+// analyzers are all intra-package and carry no cross-package facts.
+const vetxPlaceholder = "provlint/0 no facts\n"
+
+// Main is the entry point for cmd/provlint. It implements the vettool
+// protocol around RunAnalyzers and never returns.
+func Main(analyzers ...*Analyzer) {
+	log.SetFlags(0)
+	log.SetPrefix("provlint: ")
+
+	fs := flag.NewFlagSet("provlint", flag.ExitOnError)
+	versionFlag := fs.String("V", "", "print version and exit (go vet protocol)")
+	flagsFlag := fs.Bool("flags", false, "print flags in JSON (go vet protocol)")
+	jsonFlag := fs.Bool("json", false, "emit diagnostics as JSON on stdout")
+	enabled := make(map[string]*bool, len(analyzers))
+	for _, a := range analyzers {
+		first, _, _ := strings.Cut(a.Doc, "\n")
+		enabled[a.Name] = fs.Bool(a.Name, true, "enable the "+a.Name+" analyzer: "+first)
+	}
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: provlint [flags] <vet-config>.cfg")
+		fmt.Fprintln(os.Stderr, "  (invoke via: go vet -vettool=$(command -v provlint) ./...)")
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(os.Args[1:]) // ExitOnError: Parse cannot fail
+
+	if *versionFlag != "" {
+		printVersion()
+		return
+	}
+	if *flagsFlag {
+		printFlagsJSON(fs)
+		return
+	}
+	args := fs.Args()
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		fs.Usage()
+		os.Exit(1)
+	}
+
+	var selected []*Analyzer
+	for _, a := range analyzers {
+		if *enabled[a.Name] {
+			selected = append(selected, a)
+		}
+	}
+	diags, fset, err := runConfig(args[0], selected)
+	if err != nil {
+		log.Fatal(err) // exit 1: internal/typecheck error
+	}
+	if len(diags) == 0 {
+		return
+	}
+	if *jsonFlag {
+		printJSONDiags(fset, diags)
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.AnalyzerName)
+		}
+	}
+	os.Exit(2)
+}
+
+// printVersion implements -V=full. The go command caches vet results
+// keyed on this line, so it embeds a content hash of the executable:
+// rebuilding provlint with different analyzers invalidates the cache.
+func printVersion() {
+	progname := filepath.Base(os.Args[0])
+	h := sha256.New()
+	//provlint:ignore fsxdiscipline reading our own executable for the cache key, not store data
+	if f, err := os.Open(os.Args[0]); err == nil {
+		_, _ = io.Copy(h, f)
+		f.Close()
+	}
+	fmt.Printf("%s version devel buildID=%02x\n", progname, h.Sum(nil))
+}
+
+// printFlagsJSON implements -flags: the go command asks the vettool to
+// describe its flags so it can split "go vet" arguments between the
+// build system and the tool.
+func printFlagsJSON(fs *flag.FlagSet) {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var out []jsonFlag
+	fs.VisitAll(func(f *flag.Flag) {
+		isBool := false
+		if b, ok := f.Value.(interface{ IsBoolFlag() bool }); ok {
+			isBool = b.IsBoolFlag()
+		}
+		out = append(out, jsonFlag{Name: f.Name, Bool: isBool, Usage: f.Usage})
+	})
+	data, err := json.Marshal(out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+}
+
+func printJSONDiags(fset *token.FileSet, diags []Diagnostic) {
+	type jsonDiag struct {
+		Analyzer string `json:"analyzer"`
+		Posn     string `json:"posn"`
+		Message  string `json:"message"`
+	}
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			Analyzer: d.AnalyzerName,
+			Posn:     fset.Position(d.Pos).String(),
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "\t")
+	_ = enc.Encode(out)
+}
+
+// runConfig loads one vet config, type-checks the package it
+// describes against the export data the go command supplied, and runs
+// the selected analyzers.
+func runConfig(cfgFile string, analyzers []*Analyzer) ([]Diagnostic, *token.FileSet, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, nil, fmt.Errorf("parsing vet config %s: %w", cfgFile, err)
+	}
+
+	// The facts file must exist whatever happens below — the go
+	// command treats it as the action's cacheable output.
+	if cfg.VetxOutput != "" {
+		//provlint:ignore fsxdiscipline vet protocol output owned by the go command's build cache, not store data
+		if err := os.WriteFile(cfg.VetxOutput, []byte(vetxPlaceholder), 0o666); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, fset, nil
+			}
+			return nil, nil, err
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		//provlint:ignore fsxdiscipline read-only export data from the build cache
+		return os.Open(file)
+	})
+	tc := &types.Config{
+		Importer:  imp,
+		Sizes:     TypesSizes(build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+		Error:     func(error) {}, // collect-all: Check still returns the first error
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, fset, nil
+		}
+		return nil, nil, fmt.Errorf("typechecking %s: %w", cfg.ImportPath, err)
+	}
+
+	if cfg.VetxOnly {
+		// Dependency-only visit: the go command just wants facts, and
+		// provlint has none. The package gets its own diagnostic run
+		// when it is vetted as a root.
+		return nil, fset, nil
+	}
+
+	diags, err := RunAnalyzers(fset, files, pkg, info, analyzers)
+	if err != nil {
+		return nil, nil, err
+	}
+	return diags, fset, nil
+}

@@ -281,20 +281,20 @@ func (e *Engine) SaveCheckpoint(fsys fsx.FS, path string) error {
 	}
 	if err := e.WriteCheckpoint(f); err != nil {
 		f.Close()
-		fsys.Remove(tmp)
+		fsx.BestEffortRemove(fsys, tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		fsys.Remove(tmp)
+		fsx.BestEffortRemove(fsys, tmp)
 		return fmt.Errorf("core: checkpoint: %w", err)
 	}
 	if err := f.Close(); err != nil {
-		fsys.Remove(tmp)
+		fsx.BestEffortRemove(fsys, tmp)
 		return fmt.Errorf("core: checkpoint: %w", err)
 	}
 	if err := fsys.Rename(tmp, path); err != nil {
-		fsys.Remove(tmp)
+		fsx.BestEffortRemove(fsys, tmp)
 		return fmt.Errorf("core: checkpoint: %w", err)
 	}
 	return nil

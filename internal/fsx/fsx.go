@@ -112,6 +112,20 @@ func (OS) ReadDir(name string) ([]string, error) {
 	return names, nil
 }
 
+// BestEffortRemove removes name and deliberately ignores failure. It
+// is for clearing debris on an already-failing path — a temp
+// checkpoint after a failed write, a stillborn segment after a failed
+// header sync — where the original error is what the caller reports
+// and every recovery path already tolerates the leftover file
+// (stillborn segments and .tmp files are detected and replaced on the
+// next open). Using this helper instead of discarding the error inline
+// keeps the durabilityerr analyzer's contract meaningful: an ignored
+// removal is always a named, documented decision.
+func BestEffortRemove(f FS, name string) {
+	//provlint:ignore durabilityerr best-effort debris cleanup; the caller reports the original failure and recovery tolerates leftovers
+	_ = f.Remove(name)
+}
+
 // Default returns f, or the real filesystem when f is nil — the
 // convention every Options struct in the durability layer follows.
 func Default(f FS) FS {

@@ -39,9 +39,13 @@ func StringsCost(ss []string) int64 {
 }
 
 // Add charges n bytes.
+//
+//provex:hotpath memory accounting on every pool insert
 func (m *MemEstimator) Add(n int64) { m.bytes.Add(n) }
 
 // Sub releases n bytes.
+//
+//provex:hotpath memory accounting on every eviction/flush
 func (m *MemEstimator) Sub(n int64) { m.bytes.Add(-n) }
 
 // Bytes returns the current estimate.

@@ -1,0 +1,52 @@
+package promtext
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary bytes to the exposition parser: it must
+// never panic, and anything it accepts must round-trip — re-rendering
+// the parsed series as `name value` lines and parsing again yields
+// the same map.
+func FuzzParse(f *testing.F) {
+	f.Add("# HELP x y\n# TYPE x counter\nx 1\n")
+	f.Add("series{label=\"v\"} 2.5\n")
+	f.Add("a 1\nb NaN\nc +Inf\nd -Inf\n")
+	f.Add("# BAD comment\n")
+	f.Add("truncated")
+	f.Add("\x00\xff 1\n")
+	f.Add(strings.Repeat("a", 100) + " 1\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		got, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var b strings.Builder
+		for name, v := range got {
+			b.WriteString(name)
+			b.WriteByte(' ')
+			b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+			b.WriteByte('\n')
+		}
+		again, err := Parse(strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatalf("accepted input did not round-trip: %v\nrendered:\n%s", err, b.String())
+		}
+		if len(again) != len(got) {
+			t.Fatalf("round-trip changed series count: %d -> %d", len(got), len(again))
+		}
+		for name, v := range got {
+			w, ok := again[name]
+			if !ok {
+				t.Fatalf("round-trip lost series %q", name)
+			}
+			if v != w && !(math.IsNaN(v) && math.IsNaN(w)) {
+				t.Fatalf("round-trip changed %q: %v -> %v", name, v, w)
+			}
+		}
+	})
+}

@@ -1,0 +1,58 @@
+// Package promtext parses the Prometheus text exposition format
+// produced by internal/metrics (and scraped back by provload). It is
+// deliberately strict: provload doubles as the CI check that a live
+// /metrics scrape is well-formed, so malformed lines are errors, not
+// skips.
+//
+// The dialect accepted is the subset the repo emits: `# HELP` and
+// `# TYPE` comments, then `series value` samples where series may
+// carry a {label="..."} block and value is any strconv-parsable float
+// (including NaN and +/-Inf).
+package promtext
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// maxLine bounds one exposition line; a scrape with a longer line is
+// malformed rather than worth buffering without limit.
+const maxLine = 1 << 20
+
+// Parse reads Prometheus text format into series → value. The series
+// key keeps its label block verbatim (`name{k="v"}`), matching what
+// the exposition printed.
+func Parse(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), maxLine)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if !strings.HasPrefix(line, "# HELP ") && !strings.HasPrefix(line, "# TYPE ") {
+				return nil, fmt.Errorf("malformed comment line %q", line)
+			}
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			return nil, fmt.Errorf("malformed sample line %q", line)
+		}
+		name, raw := line[:sp], line[sp+1:]
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value in %q: %v", line, err)
+		}
+		if i := strings.IndexByte(name, '{'); i >= 0 && !strings.HasSuffix(name, "}") {
+			return nil, fmt.Errorf("unterminated labels in %q", line)
+		}
+		out[name] = v
+	}
+	return out, sc.Err()
+}

@@ -1,0 +1,63 @@
+package promtext
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseWellFormed(t *testing.T) {
+	in := `# HELP provex_ingest_total Messages ingested.
+# TYPE provex_ingest_total counter
+provex_ingest_total 12345
+provex_stage_seconds{stage="match"} 0.25
+provex_stage_seconds{stage="place"} 1e-3
+provex_queue_depth -3
+provex_ratio NaN
+`
+	got, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["provex_ingest_total"] != 12345 {
+		t.Errorf("counter = %v, want 12345", got["provex_ingest_total"])
+	}
+	if got[`provex_stage_seconds{stage="match"}`] != 0.25 {
+		t.Errorf("labelled series = %v, want 0.25", got[`provex_stage_seconds{stage="match"}`])
+	}
+	if got[`provex_stage_seconds{stage="place"}`] != 1e-3 {
+		t.Errorf("scientific value = %v, want 1e-3", got[`provex_stage_seconds{stage="place"}`])
+	}
+	if got["provex_queue_depth"] != -3 {
+		t.Errorf("negative gauge = %v, want -3", got["provex_queue_depth"])
+	}
+	if v := got["provex_ratio"]; v == v {
+		t.Errorf("NaN value parsed as %v", v)
+	}
+	if len(got) != 5 {
+		t.Errorf("got %d series, want 5", len(got))
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, in := range []string{
+		"# COMMENT free-form\n",   // comment that is neither HELP nor TYPE
+		"loneseries\n",            // sample with no value
+		"series notanumber\n",     // unparsable value
+		"series{label=\"open 1\n", // unterminated label block
+		" 5\n",                    // empty series name
+	} {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("Parse(%q) accepted malformed input", in)
+		}
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	got, err := Parse(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty input produced %d series", len(got))
+	}
+}

@@ -322,7 +322,7 @@ func (s *Store) rotateLocked() error {
 	}
 	if _, err := f.Write(segMagic[:]); err != nil {
 		f.Close()
-		s.fs.Remove(s.segPath(next))
+		fsx.BestEffortRemove(s.fs, s.segPath(next))
 		return fmt.Errorf("storage: %w", err)
 	}
 	// Make the header durable immediately: a crash after rotation must
@@ -330,7 +330,7 @@ func (s *Store) rotateLocked() error {
 	// ran) a stillborn file that recovery discards.
 	if err := f.Sync(); err != nil {
 		f.Close()
-		s.fs.Remove(s.segPath(next))
+		fsx.BestEffortRemove(s.fs, s.segPath(next))
 		return fmt.Errorf("storage: %w", err)
 	}
 	s.active = f

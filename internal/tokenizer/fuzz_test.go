@@ -1,0 +1,71 @@
+package tokenizer
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzTokenizeKeywords throws arbitrary text (including invalid UTF-8
+// and pathological URL/sigil soup) at the tokenizer and checks the
+// structural invariants every downstream consumer relies on: no
+// panics, tokens are lower-cased word runes only, keywords are
+// deduplicated, interned and at least MinTokenLen long, and the
+// pipeline is deterministic.
+func FuzzTokenizeKeywords(f *testing.F) {
+	f.Add("RT @alice: check https://example.com/x #Breaking news BREAKING")
+	f.Add("plain words only")
+	f.Add("www.nolink")
+	f.Add("")
+	f.Add("\x80\xfe\xffinvalid utf8 still TOKENIZES")
+	f.Add(strings.Repeat("a", 200) + " " + strings.Repeat("Z", 200))
+	f.Add("под_снегом mixed апельсин scripts")
+	f.Add("don't can't won't O'Brien")
+
+	f.Fuzz(func(t *testing.T, text string) {
+		toks := Tokenize(text)
+		for _, tok := range toks {
+			if tok == "" {
+				t.Fatal("Tokenize produced an empty token")
+			}
+			for _, r := range tok {
+				if !isWordRune(r) {
+					t.Fatalf("token %q contains non-word rune %q", tok, r)
+				}
+				if 'A' <= r && r <= 'Z' {
+					t.Fatalf("token %q is not lower-cased", tok)
+				}
+			}
+		}
+
+		kws := Keywords(text)
+		seen := make(map[string]bool, len(kws))
+		for _, k := range kws {
+			if len(k) == 0 {
+				t.Fatal("Keywords produced an empty keyword")
+			}
+			if seen[k] {
+				t.Fatalf("Keywords produced duplicate %q", k)
+			}
+			seen[k] = true
+			if IsStopword(k) {
+				t.Fatalf("Keywords leaked stopword %q", k)
+			}
+			// Interning must be stable: the same spelling resolves to
+			// the same canonical string.
+			if Intern(k) != k {
+				t.Fatalf("keyword %q is not the canonical interned copy", k)
+			}
+		}
+
+		// Determinism: a second pass over the same text agrees.
+		again := Keywords(text)
+		if len(again) != len(kws) {
+			t.Fatalf("Keywords not deterministic: %d then %d entries", len(kws), len(again))
+		}
+		for i := range kws {
+			if kws[i] != again[i] {
+				t.Fatalf("Keywords not deterministic at %d: %q vs %q", i, kws[i], again[i])
+			}
+		}
+	})
+}

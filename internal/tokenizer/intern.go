@@ -33,6 +33,8 @@ var interner = struct {
 // The canonical copy is detached from s's backing array (s is typically
 // a substring of a full message text, which must not be pinned by the
 // table).
+//
+//provex:hotpath hit path is a lock + map probe; only first sight of a term clones
 func Intern(s string) string {
 	interner.RLock()
 	c, ok := interner.m[s]
@@ -57,6 +59,8 @@ func Intern(s string) string {
 // in a scratch buffer (lower-casing without strings.ToLower): the
 // map[string(b)] form compiles to an allocation-free lookup, so only a
 // table miss pays for string conversion.
+//
+//provex:hotpath runs once per token of every ingested message
 func internBytes(b []byte) string {
 	interner.RLock()
 	c, ok := interner.m[string(b)]
@@ -64,5 +68,6 @@ func internBytes(b []byte) string {
 	if ok {
 		return c
 	}
+	//provlint:ignore hotpathalloc miss path: the one string conversion per distinct term ever seen
 	return Intern(string(b))
 }

@@ -174,6 +174,8 @@ func New(opts Options) *Recorder {
 }
 
 // Enabled reports whether the recorder samples decisions.
+//
+//provex:hotpath guards tracing work on the per-message path
 func (r *Recorder) Enabled() bool { return r != nil && r.sample > 0 }
 
 // SampleEvery returns the sampling period (0 when disabled).
@@ -203,6 +205,8 @@ func (r *Recorder) RegisterMetrics(reg *metrics.Registry) {
 // Begin starts a Decision for the message about to be ingested, or
 // returns nil when the message is not sampled. The unsampled path is
 // the ingest hot path: it must stay allocation-free.
+//
+//provex:hotpath the disabled/unsampled branch runs for every message
 func (r *Recorder) Begin(msgID uint64) *Decision {
 	if r == nil || r.sample <= 0 {
 		return nil
@@ -211,6 +215,7 @@ func (r *Recorder) Begin(msgID uint64) *Decision {
 	if r.count%uint64(r.sample) != 0 {
 		return nil
 	}
+	//provlint:ignore hotpathalloc sampled slow path: 1-in-N messages deliberately pay for their Decision record
 	return &Decision{MsgID: msgID, Parent: -1, Conn: "none"}
 }
 

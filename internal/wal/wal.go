@@ -228,12 +228,12 @@ func (l *Log) startFile() error {
 	}
 	if _, err := f.Write(walMagic[:]); err != nil {
 		f.Close()
-		l.fs.Remove(path)
+		fsx.BestEffortRemove(l.fs, path)
 		return fmt.Errorf("wal: %w", err)
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		l.fs.Remove(path)
+		fsx.BestEffortRemove(l.fs, path)
 		return fmt.Errorf("wal: %w", err)
 	}
 	l.seg = next
