@@ -94,4 +94,13 @@ go run ./cmd/provbench -json -fig ingest -n 800 -out "$obs_tmp/bench.json" >/dev
 grep -q '"schema": "provbench/1"' "$obs_tmp/bench.json" \
     || { echo "bench smoke: schema tag missing"; exit 1; }
 
+# Perf smoke: the pruned hot paths (DESIGN.md §2g) must keep cumulative
+# bundle-match and placement time near-linear. 40k messages is enough
+# stream for large bundles to form (where the pre-pruning placement bent
+# quadratic: ~4× per doubling) yet cheap enough for every CI run; the
+# factor allows 1.5× the linear extrapolation between 20k and 40k, a
+# guardrail against algorithmic regression, not a microbenchmark.
+echo "== perf smoke (fig13 linearity) =="
+go run ./cmd/provbench -figure fig13 -max 40000 -check-linear 1.5 -out /dev/null
+
 echo "CI OK"

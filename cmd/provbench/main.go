@@ -9,6 +9,8 @@
 //	provbench -fig 8                    # just Figure 8 (accuracy/return)
 //	provbench -scale paper -fig 7       # paper-sized run (700k messages)
 //	provbench -fig all -out results.txt
+//	provbench -figure fig13 -max 1000000 -json   # long-stream stage-time sweep
+//	provbench -figure fig13 -max 40000 -check-linear 1.5   # ci perf smoke
 package main
 
 import (
@@ -35,6 +37,9 @@ func main() {
 		out      = flag.String("out", "-", "output path, '-' for stdout")
 		workers  = flag.Int("workers", 4, "prepare workers for the 'ingest' throughput comparison")
 		jsonOut  = flag.Bool("json", false, "emit a machine-readable JSON report instead of text tables")
+		figure   = flag.String("figure", "", "dedicated sweep mode, bypasses -fig: 'fig13' runs the long-stream stage-time sweep")
+		maxN     = flag.Int("max", 1_000_000, "stream length for -figure sweeps")
+		linear   = flag.Float64("check-linear", 0, "with -figure fig13: exit nonzero unless cumulative match/placement time at -max stays within this factor of the linear extrapolation from -max/2")
 		logLevel = cli.LogLevelFlag()
 	)
 	flag.Parse()
@@ -76,6 +81,16 @@ func main() {
 		}
 		defer f.Close()
 		w = f
+	}
+
+	if *figure != "" {
+		if *figure != "fig13" {
+			cli.Fatal("unknown -figure (want fig13)", nil, "figure", *figure)
+		}
+		if err := runSweep(w, s, *maxN, *linear, *jsonOut, *workers); err != nil {
+			cli.Fatal("fig13 sweep", err)
+		}
+		return
 	}
 
 	valid := map[string]bool{
@@ -222,6 +237,44 @@ func run(w io.Writer, s experiments.Scale, figs map[string]bool, workers int, js
 		if err := enc.Encode(report); err != nil {
 			return err
 		}
+	}
+	slog.Info("done", "seconds", fmt.Sprintf("%.1f", elapsed.Seconds()))
+	return nil
+}
+
+// runSweep executes the -figure fig13 long-stream sweep: one Partial
+// Index engine, cumulative per-stage time at 100 checkpoints, rendered
+// as a table (or a one-figure jsonReport; BENCH_PR6.json is an
+// instance). With checkLinear > 0 it is also the ci.sh perf-smoke
+// guardrail: a superlinear match or placement curve is a hard failure.
+func runSweep(w io.Writer, s experiments.Scale, max int, checkLinear float64, jsonOut bool, workers int) error {
+	start := time.Now()
+	slog.Info("fig13 sweep", "messages", max, "pool", s.PoolLimit)
+	res := experiments.Fig13Sweep(s, max)
+	elapsed := time.Since(start)
+	if jsonOut {
+		report := jsonReport{
+			Schema:     reportSchema,
+			GoVersion:  runtime.Version(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Workers:    workers,
+			Scale:      s,
+			Figures:    []jsonFigure{{Name: "fig13sweep", Tables: []*experiments.Table{res.Table()}}},
+			ElapsedSec: elapsed.Seconds(),
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintln(w, res.Table().Render())
+	}
+	if checkLinear > 0 {
+		if err := res.CheckLinear(checkLinear); err != nil {
+			return err
+		}
+		slog.Info("linearity check passed", "factor", checkLinear)
 	}
 	slog.Info("done", "seconds", fmt.Sprintf("%.1f", elapsed.Seconds()))
 	return nil

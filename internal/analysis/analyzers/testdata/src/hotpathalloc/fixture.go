@@ -61,6 +61,56 @@ func hotReturn() sink {
 	return payload{n: 3} // want `returned value boxes .*payload into interface .*sink`
 }
 
+// hotBoundScan mirrors the pruned-placement upper-bound loop shape
+// (bundle.addPruned): bucket candidates into fixed-size scratch arrays,
+// insertion-sort group indices by a precomputed bound, then scan in
+// bound order with early termination. Every construct here — array
+// element assignment, by-value struct composite literals, slice
+// reslicing to :0, arithmetic on scratch state — must stay free of
+// diagnostics, or the real hot path cannot be written allocation-free.
+//
+//provex:hotpath fixture for the allocation-free bound-scan shape
+func hotBoundScan(cands []int32, masks []uint8, bounds *[16]float64, groups *[16][]int32) int32 {
+	type stat struct{ scored, skipped int }
+	var st stat // by-value struct: no escape, no finding
+	var order [16]uint8
+	for i := range groups {
+		groups[i] = groups[i][:0] // reslice reuses backing store
+	}
+	for i, id := range cands {
+		groups[masks[i]] = append(groups[masks[i]], id)
+	}
+	n := 0
+	for m := 0; m < 16; m++ {
+		if len(groups[m]) == 0 {
+			continue
+		}
+		j := n
+		for j > 0 && bounds[order[j-1]] < bounds[m] {
+			order[j] = order[j-1]
+			j--
+		}
+		order[j] = uint8(m)
+		n++
+	}
+	best, parent := -1.0, int32(-1)
+	for g := 0; g < n; g++ {
+		if best > bounds[order[g]] {
+			st.skipped += len(groups[order[g]])
+			break
+		}
+		for _, id := range groups[order[g]] {
+			s := float64(id) * 0.5
+			if s > best || (s == best && id < parent) {
+				best, parent = s, id
+			}
+			st.scored++
+		}
+	}
+	_ = st
+	return parent
+}
+
 // cold is unannotated: the same constructs draw no diagnostics.
 func cold(names []string) string {
 	s := ""

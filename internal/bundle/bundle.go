@@ -55,11 +55,37 @@ type Bundle struct {
 	keyCounts map[string]int
 	users     map[string]int
 
+	// Node indexes: indicant term → ascending ids of the nodes carrying
+	// it. They are the bundle-local analogue of the summary index and
+	// make Algorithm 2 sublinear: the pruned Add scans only nodes
+	// sharing an indicant with the incoming message instead of every
+	// node (DESIGN.md §2g). Key sets mirror the count maps above, so the
+	// count maps already pay the map-entry and string costs; the node
+	// lists add metrics.NodeRefCost per reference.
+	tagNodes  map[string][]int32
+	urlNodes  map[string][]int32
+	keyNodes  map[string][]int32
+	userNodes map[string][]int32
+
 	start, end time.Time // message-date extent (Algorithm 2 lines 8–13)
 	lastUpdate time.Time // wall (simulated) time of last insertion
 	closed     bool
 
+	// timeOrdered reports that nodes were appended in non-decreasing
+	// message-date order, which makes node id order equal time order.
+	// The streaming ingest path always preserves this; it only breaks
+	// under out-of-order replays (e.g. merges), where placement falls
+	// back from the time-bounded scan to the mask-group scan
+	// (prune.go).
+	timeOrdered bool
+
 	memBytes int64
+
+	// scratch backs Add/AddObserved calls that arrive without an
+	// engine-owned Scratch (tests, provops merges). Lazily allocated;
+	// the engine hot path shares one Scratch across every bundle and
+	// never touches this field.
+	scratch *Scratch
 }
 
 // New creates an empty bundle.
@@ -70,7 +96,13 @@ func New(id ID) *Bundle {
 		urlCounts: make(map[string]int),
 		keyCounts: make(map[string]int),
 		users:     make(map[string]int),
+		tagNodes:  make(map[string][]int32),
+		urlNodes:  make(map[string][]int32),
+		keyNodes:  make(map[string][]int32),
+		userNodes: make(map[string][]int32),
 		memBytes:  metrics.BundleBase,
+
+		timeOrdered: true,
 	}
 }
 
@@ -146,7 +178,8 @@ func mapKeys(m map[string]int) []string {
 // inserted node. Adding to a closed bundle panics — the engine checks
 // Closed before routing.
 func (b *Bundle) Add(w score.MessageWeights, doc score.Doc) int {
-	return b.AddObserved(w, doc, nil)
+	n, _ := b.AddScratch(w, doc, nil, nil)
+	return n
 }
 
 // ParentCandidate reports one Algorithm 2 evaluation to an observer:
@@ -167,9 +200,25 @@ type ParentObserver func(ParentCandidate)
 // uses score.MessageSimWithParts, whose Total is bit-identical to
 // MessageSim, so observation never changes the chosen parent.
 func (b *Bundle) AddObserved(w score.MessageWeights, doc score.Doc, obs ParentObserver) int {
+	n, _ := b.AddScratch(w, doc, obs, nil)
+	return n
+}
+
+// AddExhaustive is the reference Algorithm 2 implementation: score
+// every node of the bundle against doc with Eq. 5. It is the
+// specification the pruned path (AddScratch) is differentially tested
+// against, and the implementation Config.Exhaustive selects. Observer
+// semantics match AddObserved.
+func (b *Bundle) AddExhaustive(w score.MessageWeights, doc score.Doc, obs ParentObserver) int {
+	n, _ := b.addExhaustive(w, doc, obs)
+	return n
+}
+
+func (b *Bundle) addExhaustive(w score.MessageWeights, doc score.Doc, obs ParentObserver) (int, PlaceStats) {
 	if b.closed {
 		panic("bundle: Add to closed bundle")
 	}
+	stats := PlaceStats{Nodes: len(b.nodes), Exhaustive: true}
 	parent := NoParent
 	best := 0.0
 	conn := score.ConnNone
@@ -178,6 +227,8 @@ func (b *Bundle) AddObserved(w score.MessageWeights, doc score.Doc, obs ParentOb
 		if c == score.ConnNone {
 			continue
 		}
+		stats.Candidates++
+		stats.Scored++
 		var s float64
 		if obs == nil {
 			s = score.MessageSim(w, b.nodes[i].Doc, doc)
@@ -193,13 +244,16 @@ func (b *Bundle) AddObserved(w score.MessageWeights, doc score.Doc, obs ParentOb
 	node := Node{Doc: doc, Parent: parent, Score: best, Conn: conn}
 	b.nodes = append(b.nodes, node)
 	b.absorb(doc)
-	return len(b.nodes) - 1
+	return len(b.nodes) - 1, stats
 }
 
-// absorb merges doc's indicants into the summary and updates extent,
-// freshness and the memory estimate.
+// absorb merges doc's indicants into the summary and the node indexes
+// and updates extent, freshness and the memory estimate. It must run
+// immediately after the node is appended: the node-index entries use
+// the id of the newest node.
 func (b *Bundle) absorb(doc score.Doc) {
 	m := doc.Msg
+	id := int32(len(b.nodes) - 1)
 	var added int64 = metrics.NodeBase + metrics.MessageBase +
 		metrics.StringCost(m.User) + metrics.StringCost(m.Text)
 	for _, h := range m.Hashtags {
@@ -207,29 +261,35 @@ func (b *Bundle) absorb(doc score.Doc) {
 			added += metrics.MapEntryCost + metrics.StringCost(h)
 		}
 		b.tagCounts[h]++
+		added += appendNode(b.tagNodes, h, id)
 	}
 	for _, u := range m.URLs {
 		if b.urlCounts[u] == 0 {
 			added += metrics.MapEntryCost + metrics.StringCost(u)
 		}
 		b.urlCounts[u]++
+		added += appendNode(b.urlNodes, u, id)
 	}
 	for _, k := range doc.Keywords {
 		if b.keyCounts[k] == 0 {
 			added += metrics.MapEntryCost + metrics.StringCost(k)
 		}
 		b.keyCounts[k]++
+		added += appendNode(b.keyNodes, k, id)
 	}
 	if b.users[m.User] == 0 {
 		added += metrics.MapEntryCost + metrics.StringCost(m.User)
 	}
 	b.users[m.User]++
+	added += appendNode(b.userNodes, m.User, id)
 	b.memBytes += added
 
 	if b.start.IsZero() || m.Date.Before(b.start) {
 		b.start = m.Date
 	}
-	if m.Date.After(b.end) {
+	if m.Date.Before(b.end) {
+		b.timeOrdered = false
+	} else {
 		b.end = m.Date
 	}
 	if m.Date.After(b.lastUpdate) {

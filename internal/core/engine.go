@@ -56,6 +56,14 @@ type Config struct {
 	// while keeping ingest cost bounded per message.
 	MaxFanout int
 
+	// Exhaustive forces the reference O(n) implementations of both
+	// ingest hot stages: every bundle node is scored with Eq. 5 during
+	// placement and every fetched candidate with Eq. 1 during match,
+	// with no upper-bound pruning. Assignments are identical either way
+	// (the differential tests pin it); this switch exists as the
+	// specification baseline and an escape hatch.
+	Exhaustive bool
+
 	// Parallel configures the concurrent ingest pipeline. The zero
 	// value keeps every stage serial — the paper's original
 	// single-threaded loop.
@@ -234,6 +242,19 @@ type Engine struct {
 	edges      metrics.Counter
 	connCounts [5]metrics.Counter
 
+	// Pruning instrumentation (DESIGN.md §2g): how much Eq. 1 / Eq. 5
+	// work the sublinear hot paths avoided. All atomic; the histogram is
+	// internally locked.
+	placeScored    metrics.Counter
+	placeSkipped   metrics.Counter
+	placeEarlyStop metrics.Counter
+	matchPruned    metrics.Counter
+	placeSkipHist  *metrics.Histogram
+
+	// placeScratch is the engine-owned scratch of the pruned Algorithm 2
+	// scan, shared across every bundle (inserts are single-goroutine).
+	placeScratch *bundle.Scratch
+
 	// gHist observes the Eq. 6 score of ranked pool evictions (wired
 	// into the pool at construction, exposed via RegisterMetrics).
 	gHist *metrics.Histogram
@@ -279,6 +300,8 @@ func New(cfg Config, store *storage.Store, onEdge EdgeFunc) *Engine {
 		100, 250, 500, 1_000, 2_500, 5_000, 10_000,
 		25_000, 50_000, 100_000, 250_000, 500_000, 1_000_000)
 	e.pool.SetGScoreHistogram(e.gHist)
+	e.placeSkipHist = metrics.NewPow2Histogram(12)
+	e.placeScratch = bundle.NewScratch()
 	return e
 }
 
@@ -313,6 +336,17 @@ func (e *Engine) RegisterMetrics(reg *metrics.Registry) {
 			"Cumulative ingest time per Algorithm 1 stage (Figure 13's match/placement/refinement split; prepare is the parallel tokenize stage).",
 			s.t, "stage", s.stage)
 	}
+	reg.RegisterCounter("provex_place_nodes_scored_total",
+		"Bundle nodes scored with Eq. 5 during message placement.", &e.placeScored)
+	reg.RegisterCounter("provex_place_nodes_skipped_total",
+		"Bundle nodes the pruned placement skipped (node-index pruning + score-bound early stop; DESIGN.md section 2g).", &e.placeSkipped)
+	reg.RegisterCounter("provex_place_early_stop_total",
+		"Placements whose bound-ordered candidate scan stopped before the last group (early-termination rate = this / provex_ingest_messages_total).", &e.placeEarlyStop)
+	reg.RegisterCounter("provex_match_candidates_pruned_total",
+		"Match candidates skipped before Eq. 1 scoring because their score upper bound could not beat the running best.", &e.matchPruned)
+	reg.RegisterHistogram("provex_place_skipped_nodes",
+		"Distribution of nodes skipped per placement by the pruned Algorithm 2 scan.",
+		e.placeSkipHist, 1)
 	reg.RegisterCounter("provex_flush_retries_total",
 		"Re-attempted bundle flushes after a storage failure.", &e.flushRetries)
 	reg.RegisterCounter("provex_flush_dropped_total",
@@ -529,10 +563,9 @@ func (e *Engine) InsertPrepared(p Prepared) InsertResult {
 			res.Created = true
 		}
 		res.Bundle = chosen.ID()
-		if td == nil {
-			res.Node = chosen.Add(e.cfg.MsgWeights, doc)
-		} else {
-			res.Node = chosen.AddObserved(e.cfg.MsgWeights, doc, func(pc bundle.ParentCandidate) {
+		var obs bundle.ParentObserver
+		if td != nil {
+			obs = func(pc bundle.ParentCandidate) {
 				td.Parents = append(td.Parents, trace.ParentScore{
 					Node:    pc.Node,
 					MsgID:   uint64(pc.Msg),
@@ -544,7 +577,20 @@ func (e *Engine) InsertPrepared(p Prepared) InsertResult {
 					RT:      pc.Parts.RT,
 					Total:   pc.Parts.Total,
 				})
-			})
+			}
+		}
+		var ps bundle.PlaceStats
+		if e.cfg.Exhaustive {
+			res.Node = chosen.AddExhaustive(e.cfg.MsgWeights, doc, obs)
+		} else {
+			res.Node, ps = chosen.AddScratch(e.cfg.MsgWeights, doc, obs, e.placeScratch)
+			e.placeScored.Add(int64(ps.Scored))
+			skipped := int64(ps.Skipped())
+			e.placeSkipped.Add(skipped)
+			e.placeSkipHist.Observe(skipped)
+			if ps.EarlyStop {
+				e.placeEarlyStop.Inc()
+			}
 		}
 		node := chosen.Nodes()[res.Node]
 		res.Conn = node.Conn
@@ -564,6 +610,7 @@ func (e *Engine) InsertPrepared(p Prepared) InsertResult {
 			td.Parent = int(node.Parent)
 			td.ParentScore = node.Score
 			td.Conn = node.Conn.String()
+			td.ParentsPruned = ps.Skipped()
 		}
 	})
 
@@ -592,6 +639,7 @@ func (e *Engine) InsertPrepared(p Prepared) InsertResult {
 // parallel and serial paths always pick the same bundle.
 func (e *Engine) matchBundle(doc score.Doc, td *trace.Decision) *bundle.Bundle {
 	cands := e.index.Candidates(doc)
+	fetch := e.index.LastFetch()
 	if td != nil {
 		td.CandidatesFetched = len(cands)
 		td.Threshold = e.cfg.BundleWeights.Threshold
@@ -607,13 +655,13 @@ func (e *Engine) matchBundle(doc score.Doc, td *trace.Decision) *bundle.Bundle {
 		threshold = DefaultMatchThreshold
 	}
 	if w := e.cfg.Parallel.MatchWorkers; w > 1 && len(cands) >= threshold {
-		return e.matchParallel(doc, cands, w, td)
+		return e.matchParallel(doc, cands, fetch, w, td)
 	}
 	var sink *[]trace.CandidateScore
 	if td != nil {
 		sink = &td.Candidates
 	}
-	best, _ := e.matchRange(doc, cands, sink)
+	best, _ := e.matchRange(doc, cands, fetch, sink)
 	return best
 }
 
@@ -621,15 +669,51 @@ func (e *Engine) matchBundle(doc score.Doc, td *trace.Decision) *bundle.Bundle {
 // slice: the best open bundle scoring strictly above the join
 // threshold, ties broken toward the lowest bundle ID. Safe to run
 // concurrently over disjoint slices — it only reads pool and bundle
-// state, which no one mutates during the match stage. A non-nil sink
-// receives one CandidateScore per fetched candidate (skipped ones
-// included); the traced path scores via BundleSimWithParts, whose
-// Total is bit-identical to BundleSim, so tracing never changes which
-// bundle wins.
-func (e *Engine) matchRange(doc score.Doc, cands []sumindex.Candidate, sink *[]trace.CandidateScore) (*bundle.Bundle, float64) {
+// state, which no one mutates during the match stage (the pruning
+// counter is atomic). A non-nil sink receives one CandidateScore per
+// fetched candidate (skipped ones included); the traced path scores
+// via BundleSimWithParts, whose Total is bit-identical to BundleSim,
+// so tracing never changes which bundle wins.
+//
+// Unless Config.Exhaustive is set, each candidate is first tested
+// against its Eq. 1 upper bound (score.BundleSimCeil over the exact
+// per-class hit counts plus fetch's skipped-list slack) and skipped
+// when it cannot beat the running best: a candidate is pruned only if
+// ub < bestScore, or ub == bestScore when the tie could not go its way
+// (no bundle chosen yet — joining needs a strictly-above-threshold
+// score — or a lower-ID bundle already holds the tie). Since the true
+// score never exceeds ub, a pruned candidate could never have been
+// selected, so the returned (bundle, score) pair is identical to the
+// exhaustive loop's — which also makes chunk-local pruning compose
+// with matchParallel's reduction.
+//
+//provex:hotpath Eq. 1 scoring loop runs per ingested message
+func (e *Engine) matchRange(doc score.Doc, cands []sumindex.Candidate, fetch sumindex.FetchInfo, sink *[]trace.CandidateScore) (*bundle.Bundle, float64) {
+	prune := !e.cfg.Exhaustive
+	pruned := int64(0)
 	var best *bundle.Bundle
 	bestScore := e.cfg.BundleWeights.Threshold
 	for _, c := range cands {
+		if prune {
+			ub := score.BundleSimCeil(e.cfg.BundleWeights, doc,
+				int(c.URLHits), int(c.TagHits), int(c.KeyHits), c.RTHit,
+				fetch.SkippedURL, fetch.SkippedTag, fetch.SkippedKey, fetch.SkippedRT)
+			skip := false
+			if best == nil {
+				skip = ub <= bestScore
+			} else {
+				skip = ub < bestScore || (ub == bestScore && bundle.ID(c.ID) > best.ID())
+			}
+			if skip {
+				pruned++
+				if sink != nil {
+					*sink = append(*sink, trace.CandidateScore{
+						Bundle: uint64(c.ID), Hits: c.Hits, Skipped: "pruned",
+					})
+				}
+				continue
+			}
+		}
 		b := e.pool.Get(bundle.ID(c.ID))
 		if b == nil || b.Closed() {
 			if sink != nil {
@@ -664,6 +748,9 @@ func (e *Engine) matchRange(doc score.Doc, cands []sumindex.Candidate, sink *[]t
 			bestScore, best = s, b
 		}
 	}
+	if pruned > 0 {
+		e.matchPruned.Add(pruned)
+	}
 	return best, bestScore
 }
 
@@ -674,7 +761,7 @@ func (e *Engine) matchRange(doc score.Doc, cands []sumindex.Candidate, sink *[]t
 // shared mutable state between goroutines); the chunks concatenate in
 // chunk order after the barrier, so the merged candidate list is in
 // the exact order the serial loop would have produced.
-func (e *Engine) matchParallel(doc score.Doc, cands []sumindex.Candidate, workers int, td *trace.Decision) *bundle.Bundle {
+func (e *Engine) matchParallel(doc score.Doc, cands []sumindex.Candidate, fetch sumindex.FetchInfo, workers int, td *trace.Decision) *bundle.Bundle {
 	type chunkBest struct {
 		b *bundle.Bundle
 		s float64
@@ -702,7 +789,7 @@ func (e *Engine) matchParallel(doc score.Doc, cands []sumindex.Candidate, worker
 			if td != nil {
 				sink = &chunkSinks[k]
 			}
-			b, s := e.matchRange(doc, part, sink)
+			b, s := e.matchRange(doc, part, fetch, sink)
 			results[k] = chunkBest{b: b, s: s}
 		}(k, cands[lo:hi])
 	}

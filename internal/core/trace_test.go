@@ -134,8 +134,10 @@ func TestTracedIngestConsistency(t *testing.T) {
 			}
 		}
 
-		// Recompute the Algorithm 2 parent: first maximum wins (the
-		// engine takes a later node only on a strictly higher score).
+		// Recompute the Algorithm 2 parent: maximum score, ties to the
+		// lowest node id. (The pruned scan records Parents in
+		// bound-group order, not node order, so "first maximum" is no
+		// longer the right recompute — the id tie-break is.)
 		if len(d.Parents) == 0 {
 			if d.Parent != int(bundle.NoParent) {
 				t.Fatalf("msg %d: parent %d with no recorded candidates", d.MsgID, d.Parent)
@@ -143,7 +145,7 @@ func TestTracedIngestConsistency(t *testing.T) {
 		} else {
 			best := d.Parents[0]
 			for _, p := range d.Parents[1:] {
-				if p.Total > best.Total {
+				if p.Total > best.Total || (p.Total == best.Total && p.Node < best.Node) {
 					best = p
 				}
 			}
@@ -212,5 +214,58 @@ func TestTracedMatchesUntraced(t *testing.T) {
 		if plain[i] != traced[i] {
 			t.Fatalf("message %d: traced result %+v != untraced %+v", i, traced[i], plain[i])
 		}
+	}
+}
+
+// TestTraceRecordsPruning pins the truthfulness of /explain under the
+// pruned hot paths (DESIGN.md §2g): every sampled decision must account
+// for the match candidates the upper bound skipped and the bundle nodes
+// the placement scan never scored, the winner must never be a pruned
+// candidate, and at least some decisions must actually show pruning (so
+// the assertions are not vacuous).
+func TestTraceRecordsPruning(t *testing.T) {
+	cfg := PartialIndexConfig(400)
+	eng := New(cfg, nil, nil)
+	rec := trace.New(trace.Options{SampleEvery: 1, Buffer: 8192})
+	eng.SetTracer(rec)
+
+	g := gen.New(gen.DefaultConfig())
+	for i := 0; i < 3000; i++ {
+		eng.Insert(g.Next())
+	}
+
+	sawCandPrune, sawParentPrune := false, false
+	for _, d := range rec.Recent(rec.Buffer()) {
+		prunedN := 0
+		for _, c := range d.Candidates {
+			if c.Skipped != "pruned" {
+				continue
+			}
+			prunedN++
+			if !d.NewBundle && c.Bundle == d.Winner {
+				t.Fatalf("msg %d: winning bundle %d was recorded as pruned", d.MsgID, d.Winner)
+			}
+		}
+		if d.CandidatesPruned != prunedN {
+			t.Fatalf("msg %d: CandidatesPruned %d != %d pruned entries", d.MsgID, d.CandidatesPruned, prunedN)
+		}
+		if d.ParentsScored != len(d.Parents) {
+			t.Fatalf("msg %d: ParentsScored %d != %d recorded parents", d.MsgID, d.ParentsScored, len(d.Parents))
+		}
+		if d.ParentsPruned < 0 {
+			t.Fatalf("msg %d: negative ParentsPruned %d", d.MsgID, d.ParentsPruned)
+		}
+		if prunedN > 0 {
+			sawCandPrune = true
+		}
+		if d.ParentsPruned > 0 {
+			sawParentPrune = true
+		}
+	}
+	if !sawCandPrune {
+		t.Error("no decision recorded a pruned match candidate over 3000 messages")
+	}
+	if !sawParentPrune {
+		t.Error("no decision recorded pruned placement nodes over 3000 messages")
 	}
 }

@@ -23,6 +23,7 @@ const (
 	NodeBase       = 32 // bundle tree node: parent index, score, pointer
 	BundleBase     = 160
 	PostingCost    = 24 // bundle ID + count + list slot
+	NodeRefCost    = 8  // node-index reference: int32 slot + growth slack
 )
 
 // StringCost returns the estimated heap bytes of string s.

@@ -339,6 +339,87 @@ func BundleSimWithParts(w BundleWeights, t Doc, b BundleStats) BundleSimParts {
 	return p
 }
 
+// Score upper bounds (DESIGN.md §2g). The pruned ingest paths skip a
+// candidate only when its bound falls below the running best, so a
+// bound must never under-estimate the true score. Each similarity
+// component is a ratio in [0,1] scaled by its weight, which makes the
+// clamped weight itself the component ceiling; BoundSlop absorbs the
+// few ulps by which a differently-associated floating-point sum could
+// exceed the bound arithmetic. Inflating a bound can only make pruning
+// more conservative — it can never change which candidate wins — so
+// the slop is safe by construction.
+
+// BoundSlop is added to every score upper bound to dominate
+// floating-point association error. Real scores are O(1) sums of at
+// most a few hundred terms, so accumulated rounding stays below 1e-12;
+// 1e-9 leaves three orders of magnitude of margin while remaining far
+// below any meaningful score difference.
+const BoundSlop = 1e-9
+
+// ceil0 is the contribution ceiling of one weighted component whose
+// ratio term is bounded by [0,1]: w for positive weights, 0 for
+// negative ones (a negative weight times a non-negative ratio can only
+// lower the score).
+func ceil0(w float64) float64 {
+	if w < 0 {
+		return 0
+	}
+	return w
+}
+
+// MessageSimCeil bounds MessageSim(w, earlier, later) from above for
+// any earlier node whose shared-indicant classes are exactly those
+// flagged: url/tag/keyword report whether the node shares at least one
+// URL, hashtag or keyword with the later message, rt whether the later
+// message is an explicit re-share of the node's author. Eq. 2–4 and
+// the keyword ratio are each ≤ 1, the time factor is ≤ 1, and absent
+// classes contribute exactly 0, so the clamped-weight sum plus
+// BoundSlop dominates every achievable score for that class mask.
+func MessageSimCeil(w MessageWeights, url, tag, kw, rt bool) float64 {
+	s := ceil0(w.Time) + BoundSlop
+	if url {
+		s += ceil0(w.URL)
+	}
+	if tag {
+		s += ceil0(w.Tag)
+	}
+	if kw {
+		s += ceil0(w.Keyword)
+	}
+	if rt {
+		s += ceil0(w.RT)
+	}
+	return s
+}
+
+// BundleSimCeil bounds BundleSim(w, t, b) from above for a candidate
+// bundle known (from summary-index postings) to carry urlHits of t's
+// URLs, tagHits of its hashtags and kwHits of its kwTotal keywords,
+// with rt reporting whether the bundle contains the re-shared user.
+// The slack counts cover postings the fetch did NOT traverse (fanout
+// cut or disabled class): each untraversed list may or may not contain
+// the bundle, so the bound assumes it does, at the clamped weight.
+// The freshness term is ≤ w.Time. BoundSlop covers the difference
+// between this multiply-based arithmetic and BundleSim's running sum.
+func BundleSimCeil(w BundleWeights, t Doc, urlHits, tagHits, kwHits int, rt bool,
+	slackURL, slackTag, slackKw int, slackRT bool) float64 {
+	s := w.URL*float64(urlHits) + w.Tag*float64(tagHits) + BoundSlop
+	if kwTotal := len(t.Keywords); kwTotal > 0 {
+		s += w.Keyword * float64(kwHits) / float64(kwTotal)
+		if slackKw > 0 {
+			s += ceil0(w.Keyword) * float64(slackKw) / float64(kwTotal)
+		}
+	}
+	if rt {
+		s += w.RT
+	} else if slackRT {
+		s += ceil0(w.RT)
+	}
+	s += ceil0(w.URL)*float64(slackURL) + ceil0(w.Tag)*float64(slackTag)
+	s += ceil0(w.Time)
+	return s
+}
+
 // EvictionRank is Equation 6: G(B) = curr − date(B) + 1/|B|, where the
 // age term is measured in hours (the unit again left open by the paper;
 // hours keep the 1/|B| size term relevant for bundles hours-old rather

@@ -103,9 +103,24 @@ type Index struct {
 	slabs [maxSlabClass + 1][][]Posting
 
 	// Candidate-fetch scratch, reused across calls (see Candidates).
-	hits    map[BundleID]int32
+	// hits packs the per-class hit counts of one bundle into a uint64
+	// (packedHits), so one map pass yields both the ranking total and
+	// the exact per-class counts the Eq. 1 upper bound needs.
+	hits    map[BundleID]uint64
 	candBuf []Candidate
+	fetch   FetchInfo
 }
+
+// Packed per-class hit-count layout of the candidate-fetch scratch map:
+// 16 bits each for URL, tag and keyword hits (a message carries at most
+// a few dozen terms per class, and each traversed posting list
+// contributes at most one hit per bundle), one bit for the RT user hit.
+const (
+	shiftURL = 0
+	shiftTag = 16
+	shiftKey = 32
+	shiftRT  = 48
+)
 
 // New creates an empty summary index with every class enabled and no
 // fanout cap.
@@ -115,6 +130,7 @@ func New() *Index {
 		ix.classes[c] = make(map[string][]Posting)
 		ix.enabled[c] = true
 	}
+	ix.hits = make(map[BundleID]uint64, 256)
 	return ix
 }
 
@@ -273,75 +289,140 @@ func (ix *Index) drop(c Class, term string, id BundleID) {
 }
 
 // Candidate is one bundle surfaced by the summary index with the number
-// of indicant hits that surfaced it.
+// of indicant hits that surfaced it, split per class. The per-class
+// counts are exact over the posting lists the fetch traversed — the
+// inputs of the Eq. 1 upper bound (score.BundleSimCeil); lists the
+// fetch skipped are reported in FetchInfo as slack.
 type Candidate struct {
-	ID   BundleID
-	Hits int
+	ID      BundleID
+	Hits    int // URLHits + TagHits + KeyHits (+1 for RTHit): the fetch rank
+	URLHits uint16
+	TagHits uint16
+	KeyHits uint16
+	RTHit   bool
+}
+
+// FetchInfo describes what the last Candidates call did NOT traverse:
+// per class, how many of the message's terms were skipped because the
+// class is disabled or the posting list exceeded the fanout cap.
+// A skipped list may still hit any candidate, so upper-bound users must
+// treat each skipped term as a potential hit (BundleSimCeil's slack
+// terms). Postings counts the entries actually walked — the true fetch
+// cost of the message.
+type FetchInfo struct {
+	SkippedURL int
+	SkippedTag int
+	SkippedKey int
+	SkippedRT  bool
+	Postings   int
 }
 
 // Candidates fetches the candidate bundle list for doc (Algorithm 1,
 // step 1): the union over the message's indicants of each indicant's
 // posting list. The result is ordered by descending hit count, then
 // ascending bundle ID, so callers can cap scoring work at the most
-// promising candidates.
+// promising candidates and the match stage can scan in impact order.
 //
 // The returned slice is internal scratch, valid only until the next
 // Candidates call on this index — the ingest loop consumes it within
 // one Algorithm 1 step, which is what makes candidate fetch
-// allocation-free at steady state.
+// allocation-free at steady state. LastFetch reports the skipped-list
+// slack of the same call under the same validity contract.
+//
+//provex:hotpath Algorithm 1 step 1 runs per ingested message
 func (ix *Index) Candidates(doc score.Doc) []Candidate {
-	if ix.hits == nil {
-		ix.hits = make(map[BundleID]int32, 256)
-	}
-	hits := ix.hits
-	clear(hits)
-	collect := func(c Class, term string) {
-		if !ix.enabled[c] {
-			return
-		}
-		pl := ix.classes[c][term]
-		if ix.maxFanout > 0 && len(pl) > ix.maxFanout {
-			return
-		}
-		for _, p := range pl {
-			hits[p.ID]++
-		}
-	}
+	ix.fetch = FetchInfo{}
+	clear(ix.hits)
 	m := doc.Msg
 	for _, h := range m.Hashtags {
-		collect(ClassTag, h)
+		ix.collect(ClassTag, h, shiftTag)
 	}
 	for _, u := range m.URLs {
-		collect(ClassURL, u)
+		ix.collect(ClassURL, u, shiftURL)
 	}
 	for _, k := range doc.Keywords {
-		collect(ClassKeyword, k)
+		ix.collect(ClassKeyword, k, shiftKey)
 	}
 	if m.IsRT() {
-		collect(ClassUser, m.RTOf)
+		ix.collect(ClassUser, m.RTOf, shiftRT)
 	}
-	if len(hits) == 0 {
+	if len(ix.hits) == 0 {
 		return nil
 	}
 	out := ix.candBuf[:0]
-	for id, n := range hits {
-		out = append(out, Candidate{ID: id, Hits: int(n)})
+	for id, packed := range ix.hits {
+		c := Candidate{
+			ID:      id,
+			URLHits: uint16(packed >> shiftURL),
+			TagHits: uint16(packed >> shiftTag),
+			KeyHits: uint16(packed >> shiftKey),
+			RTHit:   packed>>shiftRT != 0,
+		}
+		c.Hits = int(c.URLHits) + int(c.TagHits) + int(c.KeyHits)
+		if c.RTHit {
+			c.Hits++
+		}
+		out = append(out, c)
 	}
-	slices.SortFunc(out, func(a, b Candidate) int {
-		if a.Hits != b.Hits {
-			return b.Hits - a.Hits
-		}
-		switch {
-		case a.ID < b.ID:
-			return -1
-		case a.ID > b.ID:
-			return 1
-		default:
-			return 0
-		}
-	})
+	slices.SortFunc(out, compareCandidates)
 	ix.candBuf = out
 	return out
+}
+
+// collect accumulates one term's posting list into the packed hit map,
+// or records the term as skipped slack when its class is disabled or
+// its list exceeds the fanout cap.
+//
+//provex:hotpath runs per indicant term of every ingested message
+func (ix *Index) collect(c Class, term string, shift uint) {
+	if !ix.enabled[c] {
+		ix.noteSkip(c)
+		return
+	}
+	pl := ix.classes[c][term]
+	if ix.maxFanout > 0 && len(pl) > ix.maxFanout {
+		ix.noteSkip(c)
+		return
+	}
+	for _, p := range pl {
+		ix.hits[p.ID] += 1 << shift
+	}
+	ix.fetch.Postings += len(pl)
+}
+
+// noteSkip records a non-traversed term for LastFetch.
+func (ix *Index) noteSkip(c Class) {
+	switch c {
+	case ClassURL:
+		ix.fetch.SkippedURL++
+	case ClassTag:
+		ix.fetch.SkippedTag++
+	case ClassKeyword:
+		ix.fetch.SkippedKey++
+	case ClassUser:
+		ix.fetch.SkippedRT = true
+	}
+}
+
+// LastFetch returns the FetchInfo of the most recent Candidates call.
+// Like the candidate slice itself, it is valid until the next call.
+func (ix *Index) LastFetch() FetchInfo { return ix.fetch }
+
+// compareCandidates orders by descending hit count, then ascending
+// bundle ID — the fetch rank contract Candidates documents. A named
+// function (not a closure) keeps the hot path allocation-free.
+func compareCandidates(a, b Candidate) int {
+	if a.Hits != b.Hits {
+		return b.Hits - a.Hits
+	}
+	switch {
+	case a.ID < b.ID:
+		return -1
+	case a.ID > b.ID:
+		return 1
+	default:
+		return 0
+	}
 }
 
 // Postings returns the posting list of term in class c, ordered by

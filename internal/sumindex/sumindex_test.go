@@ -270,3 +270,83 @@ func TestMaxFanoutCapsCandidateFetch(t *testing.T) {
 		t.Errorf("uncapped again = %d, want 6", len(got))
 	}
 }
+
+// TestCandidatePerClassHits verifies the packed per-class split the
+// Eq. 1 upper bound consumes: class counts must sum to Hits and match
+// the terms each bundle actually carries.
+func TestCandidatePerClassHits(t *testing.T) {
+	ix := New()
+	ix.Observe(1, doc(1, "ann", "game on #redsox #sox http://bit.ly/x"))
+	ix.Observe(2, doc(2, "bob", "other talk #redsox"))
+
+	cands := ix.Candidates(doc(3, "cat", "RT @ann: game on #redsox #sox http://bit.ly/x"))
+	if len(cands) != 2 {
+		t.Fatalf("Candidates = %v, want 2", cands)
+	}
+	byID := map[BundleID]Candidate{}
+	for _, c := range cands {
+		if got := int(c.URLHits) + int(c.TagHits) + int(c.KeyHits) + b2i(c.RTHit); got != c.Hits {
+			t.Errorf("bundle %d: class hits sum %d != Hits %d", c.ID, got, c.Hits)
+		}
+		byID[c.ID] = c
+	}
+	c1 := byID[1]
+	if c1.URLHits != 1 || c1.TagHits != 2 || !c1.RTHit {
+		t.Errorf("bundle 1 = %+v, want url=1 tag=2 rt=true", c1)
+	}
+	c2 := byID[2]
+	if c2.URLHits != 0 || c2.TagHits != 1 || c2.RTHit {
+		t.Errorf("bundle 2 = %+v, want url=0 tag=1 rt=false", c2)
+	}
+	if fi := ix.LastFetch(); fi.SkippedURL != 0 || fi.SkippedTag != 0 || fi.SkippedKey != 0 || fi.SkippedRT {
+		t.Errorf("LastFetch = %+v, want no skipped lists", ix.LastFetch())
+	}
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// TestLastFetchSlack verifies that every list the fetch does not
+// traverse — fanout-cut or class-disabled — is reported as slack, which
+// is what keeps the Eq. 1 upper bound sound for those candidates.
+func TestLastFetchSlack(t *testing.T) {
+	ix := New()
+	for i := 1; i <= 4; i++ {
+		ix.Observe(BundleID(i), doc(tweet.ID(i), "ann", "#hot stuff"))
+	}
+	ix.Observe(5, doc(5, "bob", "#cool stuff"))
+
+	// #hot's posting list (4 bundles) exceeds the cap; #cool and bob's
+	// user list (1 each) do not.
+	ix.SetMaxFanout(2)
+	cands := ix.Candidates(doc(9, "cat", "RT @bob: #hot #cool things"))
+	fi := ix.LastFetch()
+	if fi.SkippedTag != 1 {
+		t.Errorf("SkippedTag = %d, want 1 (#hot cut by fanout)", fi.SkippedTag)
+	}
+	if fi.SkippedRT {
+		t.Errorf("SkippedRT = true, want false (user list under cap)")
+	}
+	for _, c := range cands {
+		if c.ID == 5 && c.TagHits != 1 {
+			t.Errorf("bundle 5 TagHits = %d, want 1 (#cool)", c.TagHits)
+		}
+	}
+
+	// A disabled class skips every term of that class.
+	ix.SetMaxFanout(0)
+	ix.SetEnabled(ClassKeyword, false)
+	ix.Candidates(doc(10, "dee", "stuff things #cool"))
+	if fi := ix.LastFetch(); fi.SkippedKey == 0 {
+		t.Errorf("LastFetch = %+v, want SkippedKey > 0 with keyword class disabled", fi)
+	}
+	ix.SetEnabled(ClassUser, false)
+	ix.Candidates(doc(11, "eve", "RT @ann: #hot"))
+	if fi := ix.LastFetch(); !fi.SkippedRT {
+		t.Errorf("LastFetch = %+v, want SkippedRT with user class disabled", fi)
+	}
+}

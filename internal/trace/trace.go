@@ -47,7 +47,9 @@ type CandidateScore struct {
 	Freshness float64 `json:"freshness"`
 	Total     float64 `json:"total"`
 	// Skipped is non-empty when the candidate was fetched but never
-	// scored: "evicted" (no longer in the pool) or "closed".
+	// scored: "evicted" (no longer in the pool), "closed", or "pruned"
+	// (its Eq. 1 upper bound could not beat the running best, so the
+	// match stage skipped the full scoring — DESIGN.md §2g).
 	Skipped string `json:"skipped,omitempty"`
 }
 
@@ -77,8 +79,12 @@ type Decision struct {
 
 	// Match stage (Eq. 1). Candidates holds every fetched candidate in
 	// summary-index order (hits desc, ID asc), including skipped ones.
+	// CandidatesPruned (derived at Commit) counts the entries whose
+	// Skipped is "pruned": candidates the upper bound eliminated before
+	// full Eq. 1 scoring.
 	CandidatesFetched int              `json:"candidates_fetched"`
 	CandidatesDropped int              `json:"candidates_dropped"` // MaxCandidates cut
+	CandidatesPruned  int              `json:"candidates_pruned"`
 	Threshold         float64          `json:"threshold"`
 	Candidates        []CandidateScore `json:"candidates"`
 
@@ -94,12 +100,19 @@ type Decision struct {
 	Margin    float64 `json:"margin"`
 
 	// Placement stage (Algorithm 2 / Eq. 5). Parents holds every node
-	// with a non-none Table II connection, in node order.
-	Parents     []ParentScore `json:"parent_scores,omitempty"`
-	Node        int           `json:"node"`
-	Parent      int           `json:"parent"` // -1 = trail root
-	ParentScore float64       `json:"parent_score"`
-	Conn        string        `json:"conn"`
+	// the pruned scan actually scored, in scan order (bound-descending
+	// mask groups). ParentsScored (derived at Commit) is len(Parents);
+	// ParentsPruned is how many bundle nodes the scan skipped — nodes
+	// sharing no indicant plus bound-pruned groups. The traced and
+	// untraced paths run the identical pruned scan, so the chosen
+	// Parent/Conn never depends on whether the message was sampled.
+	Parents       []ParentScore `json:"parent_scores,omitempty"`
+	ParentsScored int           `json:"parents_scored"`
+	ParentsPruned int           `json:"parents_pruned"`
+	Node          int           `json:"node"`
+	Parent        int           `json:"parent"` // -1 = trail root
+	ParentScore   float64       `json:"parent_score"`
+	Conn          string        `json:"conn"`
 }
 
 // RefineEvent is one Algorithm 3 eviction verdict.
@@ -226,13 +239,20 @@ func (r *Recorder) Commit(d *Decision) {
 	if r == nil || d == nil {
 		return
 	}
+	d.ParentsScored = len(d.Parents)
 	// top1/top2 over the candidates that were actually scored. The
 	// engine only joins a bundle scoring strictly above the threshold,
-	// so the threshold is the natural floor for both.
+	// so the threshold is the natural floor for both. Pruned candidates
+	// are excluded by construction: their bound proves they could not
+	// have reached top1, and for the join margin a pruned top2 can only
+	// widen the reported margin, never flip the verdict.
 	top1, top2 := d.Threshold, d.Threshold
 	for i := range d.Candidates {
 		c := &d.Candidates[i]
 		if c.Skipped != "" {
+			if c.Skipped == "pruned" {
+				d.CandidatesPruned++
+			}
 			continue
 		}
 		switch {
