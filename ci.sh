@@ -28,6 +28,7 @@ echo "== fuzz smoke =="
 go test ./internal/wal -fuzz FuzzOpenReplay -fuzztime 10s -run '^$'
 go test ./internal/tokenizer -fuzz FuzzTokenizeKeywords -fuzztime 10s -run '^$'
 go test ./internal/promtext -fuzz FuzzParse -fuzztime 10s -run '^$'
+go test ./internal/repl -fuzz FuzzFrameDecoder -fuzztime 10s -run '^$'
 
 # govulncheck is best-effort: it needs the tool and a vulndb, neither
 # of which an offline builder has.
@@ -38,11 +39,13 @@ else
     echo "govulncheck: not installed, skipping"
 fi
 
+# -shuffle=on randomizes test order within each package, flushing out
+# inter-test state dependence; the seed is printed on failure.
 echo "== go test =="
-go test ./...
+go test -shuffle=on ./...
 
 echo "== go test -race =="
-go test -race ./...
+go test -race -shuffle=on ./...
 
 # Durability-critical packages once more, uncached: the fault-injection
 # and WAL tests are the crash-safety gate and must not ride a stale
@@ -85,6 +88,64 @@ grep -q 'decision quality:' "$obs_tmp/load.out" \
     || { echo "loopback: decision-quality digest missing"; exit 1; }
 kill "$serve_pid"
 wait "$serve_pid" 2>/dev/null || true
+
+# Replication loopback: a durable leader ingests a generated stream
+# while a follower bootstraps from its checkpoint and tails its WAL
+# (DESIGN.md §2h). The gate: the follower reports ready with zero lag,
+# its /search, /prov and /trending answers are byte-identical to the
+# leader's, and provload drives the leader+follower pair through
+# /readyz gating without errors.
+echo "== leader+follower replication loopback =="
+leader_pid=""
+follower_pid=""
+trap '[ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null;
+      [ -n "$leader_pid" ] && kill "$leader_pid" 2>/dev/null;
+      [ -n "$follower_pid" ] && kill "$follower_pid" 2>/dev/null;
+      rm -rf "$obs_tmp" "$lint_tmp"' EXIT
+go build -o "$obs_tmp/provgen" ./cmd/provgen
+"$obs_tmp/provgen" -n 20000 -out "$obs_tmp/stream.jsonl"
+"$obs_tmp/provserve" -live -in "$obs_tmp/stream.jsonl" \
+    -ckpt "$obs_tmp/leader.ckpt" -wal "$obs_tmp/leader-wal" \
+    -addr 127.0.0.1:18941 >"$obs_tmp/leader.log" 2>&1 &
+leader_pid=$!
+"$obs_tmp/provserve" -follow http://127.0.0.1:18941 \
+    -ckpt "$obs_tmp/follower.ckpt" -wal "$obs_tmp/follower-wal" \
+    -addr 127.0.0.1:18942 >"$obs_tmp/follower.log" 2>&1 &
+follower_pid=$!
+# wait for the leader to finish ingesting (message counter stable)
+prev=-1; cur=""
+for _ in $(seq 1 240); do
+    cur="$(curl -s http://127.0.0.1:18941/metrics \
+        | grep -m1 '^provex_ingest_messages_total' | awk '{print $2}')" || true
+    [ -n "$cur" ] && [ "$cur" = "$prev" ] && break
+    prev="$cur"; sleep 0.5
+done
+[ "$cur" = "20000" ] || { echo "repl loopback: leader ingested $cur, want 20000"; exit 1; }
+# wait for the follower to be ready with the lag metric drained to zero
+ready=""; lag=""
+for _ in $(seq 1 240); do
+    ready="$(curl -s -o /dev/null -w '%{http_code}' http://127.0.0.1:18942/readyz)" || true
+    lag="$(curl -s http://127.0.0.1:18942/metrics \
+        | grep -m1 '^provex_repl_lag_messages' | awk '{print $2}')" || true
+    [ "$ready" = "200" ] && [ "$lag" = "0" ] && break
+    sleep 0.25
+done
+[ "$ready" = "200" ] && [ "$lag" = "0" ] \
+    || { echo "repl loopback: follower never converged (readyz=$ready lag=$lag)"; exit 1; }
+# leader-parity: identical bytes on every read endpoint
+for p in '/search?q=tsunami+samoa&k=10' '/prov?q=tsunami&k=10' '/trending?k=10'; do
+    curl -sf "http://127.0.0.1:18941$p" >"$obs_tmp/leader.json"
+    curl -sf "http://127.0.0.1:18942$p" >"$obs_tmp/follower.json"
+    cmp -s "$obs_tmp/leader.json" "$obs_tmp/follower.json" \
+        || { echo "repl loopback: follower diverges from leader on $p"; exit 1; }
+done
+echo "repl loopback: follower converged, parity on /search /prov /trending"
+"$obs_tmp/provload" -target http://127.0.0.1:18941,http://127.0.0.1:18942 \
+    -wait 15s -qps 200 -workers 8 -warmup 200ms -duration 2s >"$obs_tmp/repl-load.out"
+grep -E 'requests:' "$obs_tmp/repl-load.out"
+kill "$leader_pid" "$follower_pid"
+wait "$leader_pid" "$follower_pid" 2>/dev/null || true
+leader_pid=""; follower_pid=""
 
 # Bench trajectory smoke: a tiny provbench -json run must emit a
 # parseable report with the provbench/1 schema (the format

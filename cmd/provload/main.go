@@ -28,7 +28,14 @@
 //
 //	provload -qps 500 -duration 10s                         # paced, default mix
 //	provload -qps 0 -workers 32 -duration 30s               # closed-loop ceiling
-//	provload -target http://host:8080 -wait 15s -json       # wait for readiness, JSON report
+//	provload -target http://host:8080 -wait 15s -json       # wait for /readyz, JSON report
+//	provload -target http://leader:8080,http://replica:8081 # spread reads leader+follower
+//
+// -wait polls GET /readyz on every target until each answers 200.
+// During the run, a 503 with a Retry-After header (a gated follower or
+// a shedding leader) parks that worker for the advertised interval
+// (bounded) instead of hammering a degraded server; the waits are
+// counted in the report.
 package main
 
 import (
@@ -56,6 +63,7 @@ import (
 
 type config struct {
 	target   string
+	targets  []string // parsed from target (comma-separated)
 	qps      float64
 	workers  int
 	duration time.Duration
@@ -70,7 +78,7 @@ type config struct {
 
 func main() {
 	cfg := config{}
-	flag.StringVar(&cfg.target, "target", "http://127.0.0.1:8080", "base URL of the provserve instance")
+	flag.StringVar(&cfg.target, "target", "http://127.0.0.1:8080", "base URL(s) of provserve instance(s), comma-separated (e.g. leader,follower) — requests spread uniformly")
 	flag.Float64Var(&cfg.qps, "qps", 0, "open-loop target rate; 0 = closed loop (workers go back-to-back)")
 	flag.IntVar(&cfg.workers, "workers", 8, "concurrent client workers")
 	flag.DurationVar(&cfg.duration, "duration", 10*time.Second, "measured run length")
@@ -272,6 +280,8 @@ type Report struct {
 	ByClass     map[string]int            `json:"by_class"`
 	Errors      int                       `json:"errors"`
 	Dropped     int64                     `json:"dropped,omitempty"`
+	RetryWaits  int64                     `json:"retry_after_waits,omitempty"`
+	RetrySec    float64                   `json:"retry_after_sec,omitempty"`
 	Throughput  float64                   `json:"throughput_rps"`
 	Overall     LatencySummary            `json:"overall"`
 	Endpoints   map[string]LatencySummary `json:"endpoints"`
@@ -305,6 +315,9 @@ func (r *Report) writeText(w io.Writer) {
 		fmt.Fprintf(w, " dropped_ticks=%d", r.Dropped)
 	}
 	fmt.Fprintln(w, ")")
+	if r.RetryWaits > 0 {
+		fmt.Fprintf(w, "retry-after honored: %d waits, %.1fs parked\n", r.RetryWaits, r.RetrySec)
+	}
 	fmt.Fprintf(w, "throughput: %.1f req/s over %.1fs\n", r.Throughput, r.DurationSec)
 	fmt.Fprintf(w, "latency overall: %s\n", fmtSummary(r.Overall))
 	names := make([]string, 0, len(r.Endpoints))
@@ -372,24 +385,60 @@ func scrape(client *http.Client, target string) (map[string]float64, error) {
 	return promtext.Parse(resp.Body)
 }
 
-// waitReady polls /stats until the server answers 200.
-func waitReady(client *http.Client, target string, wait time.Duration) error {
-	deadline := time.Now().Add(wait)
-	for {
-		resp, err := client.Get(target + "/stats")
-		if err == nil {
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
-			if resp.StatusCode == http.StatusOK {
-				return nil
-			}
-			err = fmt.Errorf("/stats: status %d", resp.StatusCode)
+// scrapeAll merges /metrics from every target. With several targets,
+// series are prefixed "tN " so leader and follower deltas stay
+// distinguishable in the report.
+func scrapeAll(client *http.Client, targets []string) (map[string]float64, error) {
+	merged := map[string]float64{}
+	found := false
+	for i, tgt := range targets {
+		m, err := scrape(client, tgt)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", tgt, err)
 		}
-		if time.Now().After(deadline) {
-			return fmt.Errorf("server not ready: %w", err)
+		if m == nil {
+			continue
 		}
-		time.Sleep(100 * time.Millisecond)
+		found = true
+		prefix := ""
+		if len(targets) > 1 {
+			prefix = fmt.Sprintf("t%d ", i)
+		}
+		for series, v := range m {
+			merged[prefix+series] = v
+		}
 	}
+	if !found {
+		return nil, nil
+	}
+	return merged, nil
+}
+
+// waitReady polls GET /readyz on every target until each answers 200
+// within the shared deadline. /readyz is the real readiness contract:
+// a recovering leader or a still-catching-up follower answers 503
+// there while /stats would already answer 200. A 404 counts as ready —
+// the server is up, it just predates the readiness endpoint.
+func waitReady(client *http.Client, targets []string, wait time.Duration) error {
+	deadline := time.Now().Add(wait)
+	for _, tgt := range targets {
+		for {
+			resp, err := client.Get(tgt + "/readyz")
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusNotFound {
+					break
+				}
+				err = fmt.Errorf("/readyz: status %d", resp.StatusCode)
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("%s not ready: %w", tgt, err)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+	return nil
 }
 
 // loadgen owns one run's shared state.
@@ -401,6 +450,9 @@ type loadgen struct {
 	ids     idPool // bundle IDs from /prov, for /bundle
 	msgs    idPool // message IDs from /search, for /explain
 	dropped int64  // open-loop ticks shed because all workers were busy
+
+	throttleWaits atomic.Int64 // Retry-After intervals honored
+	throttleNanos atomic.Int64 // total time spent honoring them
 
 	explainOK        atomic.Int64
 	explainUnsampled atomic.Int64
@@ -426,8 +478,9 @@ func (g *loadgen) doOne(opName string, rng *rand.Rand) sample {
 	case "explain":
 		path = "/explain?id=" + strconv.FormatUint(g.msgs.pick(rng), 10)
 	}
+	target := g.cfg.targets[rng.Intn(len(g.cfg.targets))]
 	start := time.Now()
-	resp, err := g.client.Get(g.cfg.target + path)
+	resp, err := g.client.Get(target + path)
 	if err != nil {
 		return sample{op: opName, code: 0, d: time.Since(start)}
 	}
@@ -442,7 +495,32 @@ func (g *loadgen) doOne(opName string, rng *rand.Rand) sample {
 	default:
 		io.Copy(io.Discard, resp.Body)
 	}
-	return sample{op: opName, code: resp.StatusCode, d: time.Since(start)}
+	s := sample{op: opName, code: resp.StatusCode, d: time.Since(start)}
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		// A gated follower or a shedding leader tells us when to come
+		// back; park this worker for that long (bounded) instead of
+		// hammering a server that just said it is degraded.
+		g.honorRetryAfter(resp.Header.Get("Retry-After"))
+	}
+	return s
+}
+
+// maxRetryAfter bounds how long one advertised Retry-After may park a
+// worker, so a misconfigured server cannot stall the whole run.
+const maxRetryAfter = 5 * time.Second
+
+func (g *loadgen) honorRetryAfter(h string) {
+	secs, err := strconv.Atoi(strings.TrimSpace(h))
+	if err != nil || secs <= 0 {
+		return
+	}
+	d := time.Duration(secs) * time.Second
+	if d > maxRetryAfter {
+		d = maxRetryAfter
+	}
+	g.throttleWaits.Add(1)
+	g.throttleNanos.Add(int64(d))
+	time.Sleep(d)
 }
 
 // harvest pulls bundle IDs out of a /prov response body.
@@ -621,6 +699,14 @@ func run(cfg config) (*Report, error) {
 	if cfg.workers < 1 {
 		return nil, errors.New("need at least one worker")
 	}
+	for _, tgt := range strings.Split(cfg.target, ",") {
+		if tgt = strings.TrimSpace(tgt); tgt != "" {
+			cfg.targets = append(cfg.targets, strings.TrimRight(tgt, "/"))
+		}
+	}
+	if len(cfg.targets) == 0 {
+		return nil, errors.New("no targets")
+	}
 	g := &loadgen{
 		cfg:     cfg,
 		client:  &http.Client{Timeout: cfg.timeout},
@@ -628,11 +714,11 @@ func run(cfg config) (*Report, error) {
 		queries: queries,
 	}
 	if cfg.wait > 0 {
-		if err := waitReady(g.client, cfg.target, cfg.wait); err != nil {
+		if err := waitReady(g.client, cfg.targets, cfg.wait); err != nil {
 			return nil, err
 		}
 	}
-	before, err := scrape(g.client, cfg.target)
+	before, err := scrapeAll(g.client, cfg.targets)
 	if err != nil {
 		return nil, fmt.Errorf("before-scrape: %w", err)
 	}
@@ -642,7 +728,7 @@ func run(cfg config) (*Report, error) {
 	start := time.Now()
 	samples := g.phase(cfg.duration, false)
 	elapsed := time.Since(start)
-	after, err := scrape(g.client, cfg.target)
+	after, err := scrapeAll(g.client, cfg.targets)
 	if err != nil {
 		return nil, fmt.Errorf("after-scrape: %w", err)
 	}
@@ -655,6 +741,8 @@ func run(cfg config) (*Report, error) {
 		Requests:    len(samples),
 		ByClass:     map[string]int{},
 		Dropped:     g.dropped,
+		RetryWaits:  g.throttleWaits.Load(),
+		RetrySec:    time.Duration(g.throttleNanos.Load()).Seconds(),
 		Endpoints:   map[string]LatencySummary{},
 		HasMetrics:  after != nil,
 	}
@@ -689,7 +777,7 @@ func run(cfg config) (*Report, error) {
 				Unsampled: g.explainUnsampled.Load(),
 				Malformed: g.explainMalformed.Load(),
 			}
-			q, err := fetchQuality(g.client, cfg.target)
+			q, err := fetchQuality(g.client, cfg.targets[0])
 			if err != nil {
 				return nil, err
 			}

@@ -10,9 +10,21 @@
 //
 //	provserve -n 50000 -addr :8080              # generate, build, serve
 //	provserve -in stream.jsonl -addr :8080      # serve an existing dataset
-//	provgen -n 0 | provserve -follow            # live ingest from stdin while serving
+//	provgen -n 0 | provserve -live              # live ingest from stdin while serving
 //	provserve -in s.jsonl -ckpt engine.ckpt     # resume from/persist a checkpoint
 //	provserve -n 50000 -pprof                   # + /debug/pprof/ for provload runs
+//
+// Replication: a live durable leader (-live -ckpt -wal) automatically
+// ships its WAL under /repl/; a follower replays it:
+//
+//	provserve -live -ckpt l.ckpt -wal lwal -addr :8080           # leader
+//	provserve -follow http://leader:8080 -ckpt f.ckpt -wal fwal \
+//	          -addr :8081                                        # read replica
+//
+// A follower serves the same read endpoints with an explicit staleness
+// bound: beyond -max-lag messages (or -stale-after of leader silence)
+// it flips /readyz and answers data requests 503 + Retry-After until
+// it has caught up.
 package main
 
 import (
@@ -35,6 +47,7 @@ import (
 	"provex/internal/metrics"
 	"provex/internal/pipeline"
 	"provex/internal/query"
+	"provex/internal/repl"
 	"provex/internal/server"
 	"provex/internal/stream"
 	"provex/internal/trace"
@@ -42,11 +55,14 @@ import (
 
 func main() {
 	var (
-		in          = flag.String("in", "", "input JSONL path ('' = generate -n messages; with -follow, '' = stdin)")
-		n           = flag.Int("n", 50_000, "messages to generate when -in is empty (ignored with -follow)")
+		in          = flag.String("in", "", "input JSONL path ('' = generate -n messages; with -live, '' = stdin)")
+		n           = flag.Int("n", 50_000, "messages to generate when -in is empty (ignored with -live)")
 		seed        = flag.Int64("seed", 1, "generator seed")
 		addr        = flag.String("addr", ":8080", "listen address")
-		follow      = flag.Bool("follow", false, "keep ingesting from the input while serving (live mode)")
+		live        = flag.Bool("live", false, "keep ingesting from the input while serving (live mode)")
+		follow      = flag.String("follow", "", "run as a read replica of the leader at this base URL (requires -ckpt and -wal)")
+		maxLag      = flag.Uint64("max-lag", 10_000, "follower staleness bound in messages; beyond it reads answer 503 + Retry-After")
+		staleAfter  = flag.Duration("stale-after", 30*time.Second, "follower gates reads after this much leader silence (staleness unquantifiable)")
 		ckpt        = flag.String("ckpt", "", "checkpoint path: resume from it when present, keep it updated while running")
 		walDir      = flag.String("wal", "", "write-ahead log directory (live mode, requires -ckpt): crash-safe ingest — acknowledged messages survive a kill")
 		pprofOn     = flag.Bool("pprof", false, "expose /debug/pprof/ runtime profiles (opt-in: costs CPU while sampling)")
@@ -61,8 +77,12 @@ func main() {
 	}
 	rec := newRecorder(*traceSample, *traceBuffer)
 
-	src := openSource(*in, *n, *seed, *follow)
-	if *follow {
+	if *follow != "" {
+		serveFollower(*follow, *addr, *ckpt, *walDir, *maxLag, *staleAfter, *pprofOn, *logEvery)
+		return
+	}
+	src := openSource(*in, *n, *seed, *live)
+	if *live {
 		serveLive(src, *addr, *ckpt, *walDir, *pprofOn, *logEvery, rec)
 		return
 	}
@@ -86,6 +106,54 @@ func main() {
 	proc.Engine().RegisterMetrics(reg)
 	slog.Info("listening", "addr", *addr, "try", "/prov?q=tsunami+samoa")
 	serveHTTP(*addr, server.New(proc, serverOptions(reg, *pprofOn, rec)...), nil)
+}
+
+// serveFollower runs provserve as a WAL-shipping read replica: it
+// bootstraps from the leader's newest checkpoint, tails its WAL with
+// retries and backoff, and serves the same read endpoints with an
+// explicit staleness bound — /readyz flips and data requests answer
+// 503 + Retry-After whenever the replica is bootstrapping, lagging
+// beyond maxLag, cut off from the leader past staleAfter, or diverged.
+func serveFollower(leaderURL, addr, ckpt, walDir string, maxLag uint64, staleAfter time.Duration, pprofOn bool, logEvery time.Duration) {
+	if ckpt == "" || walDir == "" {
+		cli.Fatal("flags", errors.New("-follow requires -ckpt and -wal: a follower is a full crash-recoverable node"))
+	}
+	reg := metrics.NewRegistry()
+	rep, err := repl.NewReplica(leaderURL, core.FullIndexConfig(), repl.ReplicaOptions{
+		CheckpointPath: ckpt,
+		WALDir:         walDir,
+		MaxLag:         maxLag,
+		StaleAfter:     staleAfter,
+	})
+	if err != nil {
+		cli.Fatal("follower", err)
+	}
+	rep.RegisterMetrics(reg)
+	rep.Start()
+
+	// Structured heartbeat mirroring the leader's live-mode line.
+	go func() {
+		for range time.Tick(logEvery) {
+			st := rep.Health()
+			attrs := []any{"ready", st.Ready, "applied", rep.Applied(), "lag", rep.Lag()}
+			if !st.Ready {
+				attrs = append(attrs, "reason", st.Reason)
+			}
+			slog.Info("follower", attrs...)
+		}
+	}()
+
+	opts := serverOptions(reg, pprofOn, nil)
+	opts = append(opts, server.WithHealth(rep.Health))
+	slog.Info("follower mode", "leader", leaderURL, "addr", addr,
+		"max_lag", maxLag, "stale_after", staleAfter.String())
+	serveHTTP(addr, server.New(rep, opts...), func() {
+		// Stop drains the apply queue and writes a final checkpoint, so
+		// the next start recovers locally instead of re-bootstrapping.
+		if err := rep.Stop(); err != nil {
+			slog.Error("replica stop", "err", err)
+		}
+	})
 }
 
 // newRecorder builds the decision tracer, nil when sampling is off
@@ -171,7 +239,7 @@ func serveHTTP(addr string, h http.Handler, onShutdown func()) {
 	}
 }
 
-func openSource(in string, n int, seed int64, follow bool) stream.Source {
+func openSource(in string, n int, seed int64, live bool) stream.Source {
 	switch {
 	case in != "":
 		f, err := os.Open(in)
@@ -179,7 +247,7 @@ func openSource(in string, n int, seed int64, follow bool) stream.Source {
 			cli.Fatal("open input", err, "path", in)
 		}
 		return stream.NewJSONLReader(f)
-	case follow:
+	case live:
 		return stream.NewJSONLReader(os.Stdin)
 	default:
 		cfg := gen.DefaultConfig()
@@ -220,6 +288,7 @@ func serveLive(src stream.Source, addr, ckpt, walDir string, pprofOn bool, logEv
 	reg := metrics.NewRegistry()
 	var proc *query.Processor
 	var dur *pipeline.Durable
+	var shipper *repl.Source
 	switch {
 	case walDir != "" && ckpt == "":
 		cli.Fatal("flags", errors.New("-wal requires -ckpt"))
@@ -244,6 +313,10 @@ func serveLive(src stream.Source, addr, ckpt, walDir string, pprofOn bool, logEv
 		dur.RegisterMetrics(reg)
 		opts.Durable = dur
 		opts.CheckpointEvery = 50_000
+		// A durable live node is a replication leader: ship the WAL
+		// under /repl/ for followers to bootstrap from and tail.
+		shipper = repl.NewSource(dur, repl.SourceOptions{})
+		shipper.RegisterMetrics(reg)
 	default:
 		proc = buildProcessor(ckpt)
 		if ckpt != "" {
@@ -297,8 +370,12 @@ func serveLive(src stream.Source, addr, ckpt, walDir string, pprofOn bool, logEv
 		}
 	}()
 
-	slog.Info("live mode", "addr", addr, "durable", dur != nil)
-	serveHTTP(addr, server.New(svc, serverOptions(reg, pprofOn, rec)...), func() {
+	srvOpts := serverOptions(reg, pprofOn, rec)
+	if shipper != nil {
+		srvOpts = append(srvOpts, server.WithReplication(shipper))
+	}
+	slog.Info("live mode", "addr", addr, "durable", dur != nil, "leader", shipper != nil)
+	serveHTTP(addr, server.New(svc, srvOpts...), func() {
 		// Stop drains the ingest queue and writes the final checkpoint
 		// (which also truncates the WAL in durable mode).
 		if err := svc.Stop(); err != nil {

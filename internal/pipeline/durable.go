@@ -174,6 +174,31 @@ func (d *Durable) Checkpoint() error {
 	return nil
 }
 
+// WALSyncedSeq returns the WAL's durable watermark — the highest
+// sequence fully on stable storage. Unlike the writer-side methods it
+// is safe from any goroutine (replication shippers read it from HTTP
+// handlers).
+func (d *Durable) WALSyncedSeq() uint64 { return d.wal.SyncedSeq() }
+
+// ReadWAL collects durable WAL record payloads with sequence in
+// (after, watermark], resuming from hint when possible. Safe to call
+// concurrently with the single writer: it opens its own file handles
+// and takes no engine or pipeline locks, so shipping replication
+// batches can never block ingest. See wal.ReadBatch for the ErrGap
+// contract.
+func (d *Durable) ReadWAL(after uint64, hint wal.Cursor, maxBytes int) (wal.Batch, error) {
+	return d.wal.ReadBatch(after, hint, maxBytes)
+}
+
+// OpenCheckpoint opens the newest checkpoint file for reading (the
+// replication bootstrap payload). The checkpoint is written atomically
+// (tmp + sync + rename), so a handle opened here always sees one
+// complete checkpoint even while Checkpoint() replaces it. Returns
+// fs.ErrNotExist when no checkpoint has been taken yet.
+func (d *Durable) OpenCheckpoint() (fsx.File, error) {
+	return d.fs.Open(d.opts.CheckpointPath)
+}
+
 // Close syncs and closes the WAL. It does not close the bundle store,
 // which the caller owns.
 func (d *Durable) Close() error { return d.wal.Close() }

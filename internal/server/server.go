@@ -12,11 +12,23 @@
 //	GET /bundle?id=     — Figure 2(b)/10: one bundle's trail as JSON
 //	GET /trending?k=    — hot bundles right now
 //	GET /stats          — engine snapshot as JSON
+//	GET /healthz        — liveness: 200 whenever the process serves HTTP
+//	GET /readyz         — readiness: 200 when recovery/catch-up is complete (WithHealth)
 //	GET /metrics        — Prometheus text exposition (WithRegistry only)
 //	GET /debug/pprof/*  — runtime profiles (WithPprof only)
+//	GET /repl/*         — WAL-shipping replication surface (WithReplication only)
 //	GET /explain?id=            — full decision trace of a sampled message (WithTrace only)
 //	GET /trace/recent?n=        — newest sampled decisions, compact (WithTrace only)
 //	GET /trace/refinements?n=   — Algorithm 3 eviction audit log (WithTrace only)
+//
+// Degradation contract: every 503 the package emits goes through
+// Unavailable and therefore carries a Retry-After header. When a
+// WithHealth status reports not-ready with GateReads set (a follower
+// whose replica lag passed its bound, or one still bootstrapping), the
+// data endpoints — /search, /prov, /bundle, /trending — answer 503
+// while the operational surface (/stats, /metrics, /healthz, /readyz,
+// /repl/*) stays up, so operators and the leader can still see and
+// feed the node while clients are told to back off.
 //
 // Concurrency contract: a Server owns no state of its own beyond its
 // metrics instruments — every handler is a stateless translation
@@ -66,6 +78,30 @@ type Backend interface {
 	Trending(k int) []trending.Topic
 }
 
+// HealthStatus is one readiness verdict from a HealthFunc.
+type HealthStatus struct {
+	// Ready is the /readyz verdict: recovery and catch-up are complete
+	// and the node is within its staleness bounds.
+	Ready bool
+	// Reason explains a false Ready (shown in /readyz and 503 bodies).
+	Reason string
+	// RetryAfter hints when the client should try again; 0 uses the
+	// package default.
+	RetryAfter time.Duration
+	// GateReads additionally refuses the data endpoints (503) while not
+	// ready — a replica past its staleness bound serves no unbounded-
+	// stale results. Operational endpoints are never gated.
+	GateReads bool
+	// Detail is merged into the /readyz JSON body (lag, applied
+	// sequence, ...).
+	Detail map[string]interface{}
+}
+
+// HealthFunc reports the backend's current readiness. It is called on
+// every /readyz probe and every gated data request, so it must be
+// cheap and safe for concurrent use.
+type HealthFunc func() HealthStatus
+
 // Server wires HTTP handlers around a Backend.
 type Server struct {
 	backend Backend
@@ -75,6 +111,8 @@ type Server struct {
 	pprof    bool
 	inFlight *metrics.Gauge
 	trace    *trace.Recorder
+	health   HealthFunc
+	repl     http.Handler
 }
 
 // Option customises a Server.
@@ -103,6 +141,22 @@ func WithTrace(rec *trace.Recorder) Option {
 	return func(s *Server) { s.trace = rec }
 }
 
+// WithHealth wires a readiness source into /readyz and, when a status
+// asks for it, gates the data endpoints. Servers without it report
+// always-ready (the pre-replication behaviour: by the time a serving
+// mux exists, recovery has finished).
+func WithHealth(fn HealthFunc) Option {
+	return func(s *Server) { s.health = fn }
+}
+
+// WithReplication mounts a WAL-shipping handler (repl.NewSource) under
+// /repl/. The handler is mounted raw — its responses are streamed
+// binary with its own shed/retry semantics, so it bypasses the JSON
+// middleware the data endpoints share.
+func WithReplication(h http.Handler) Option {
+	return func(s *Server) { s.repl = h }
+}
+
 // New builds a Server.
 func New(backend Backend, opts ...Option) *Server {
 	s := &Server{backend: backend, mux: http.NewServeMux()}
@@ -116,13 +170,18 @@ func New(backend Backend, opts ...Option) *Server {
 		registerBackendMetrics(s.reg, backend)
 	}
 	s.handle("/", s.handleIndex)
-	s.handle("/search", s.handleSearch)
-	s.handle("/prov", s.handleProv)
-	s.handle("/bundle", s.handleBundle)
+	s.handleData("/search", s.handleSearch)
+	s.handleData("/prov", s.handleProv)
+	s.handleData("/bundle", s.handleBundle)
 	s.handle("/stats", s.handleStats)
-	s.handle("/trending", s.handleTrending)
+	s.handleData("/trending", s.handleTrending)
+	s.handle("/healthz", s.handleHealthz)
+	s.handle("/readyz", s.handleReadyz)
 	if s.reg != nil {
 		s.handle("/metrics", s.handleMetrics)
+	}
+	if s.repl != nil {
+		s.mux.Handle("/repl/", s.repl)
 	}
 	if s.trace != nil {
 		s.handle("/explain", s.handleExplain)
@@ -221,6 +280,81 @@ func (s *Server) handle(path string, h http.HandlerFunc) {
 	})
 }
 
+// handleData mounts h like handle, but refuses the request with a 503
+// when the health source reports not-ready with GateReads — the
+// graceful-degradation path for replicas past their staleness bound.
+func (s *Server) handleData(path string, h http.HandlerFunc) {
+	s.handle(path, func(w http.ResponseWriter, r *http.Request) {
+		if s.health != nil {
+			if st := s.health(); !st.Ready && st.GateReads {
+				Unavailable(w, st.RetryAfter, "not ready: %s", st.Reason)
+				return
+			}
+		}
+		h(w, r)
+	})
+}
+
+// handleHealthz is liveness: if the process can run this handler it is
+// alive. Readiness is /readyz's job.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]interface{}{"alive": true})
+}
+
+// handleReadyz reports serving fitness: 200 once recovery/catch-up is
+// complete and within bounds, 503 + Retry-After otherwise. Probes and
+// load balancers key on the status code; the body carries the reason
+// and any health detail (replica lag etc.) for humans.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.health == nil {
+		writeJSON(w, map[string]interface{}{"ready": true})
+		return
+	}
+	st := s.health()
+	body := map[string]interface{}{"ready": st.Ready}
+	if st.Reason != "" {
+		body["reason"] = st.Reason
+	}
+	for k, v := range st.Detail {
+		body[k] = v
+	}
+	if !st.Ready {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Retry-After", retryAfterValue(st.RetryAfter))
+		w.WriteHeader(http.StatusServiceUnavailable)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(body)
+		return
+	}
+	writeJSON(w, body)
+}
+
+// defaultRetryAfter is the Retry-After attached to 503s whose source
+// gave no hint.
+const defaultRetryAfter = time.Second
+
+// Unavailable is the package's single 503 emitter: every 503 carries a
+// Retry-After header (whole seconds, minimum 1) so well-behaved
+// clients back off instead of hammering a degraded node.
+func Unavailable(w http.ResponseWriter, retryAfter time.Duration, format string, args ...interface{}) {
+	w.Header().Set("Retry-After", retryAfterValue(retryAfter))
+	httpError(w, http.StatusServiceUnavailable, format, args...)
+}
+
+// retryAfterValue renders a Retry-After duration as whole seconds,
+// minimum 1 (a zero duration takes the package default).
+func retryAfterValue(d time.Duration) string {
+	if d <= 0 {
+		d = defaultRetryAfter
+	}
+	secs := int(d / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
 // handleMetrics renders the registry in text exposition format 0.0.4.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -293,6 +427,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 <li><code>/bundle?id=N</code> — bundle provenance trail</li>
 <li><code>/trending?k=10</code> — hot bundles right now</li>
 <li><code>/stats</code> — engine statistics</li>
+<li><code>/healthz</code> / <code>/readyz</code> — liveness and readiness probes</li>
 <li><code>/metrics</code> — Prometheus text exposition</li>
 <li><code>/explain?id=N</code> — full ingest decision trace of a sampled message</li>
 <li><code>/trace/recent?n=20</code> — newest sampled ingest decisions</li>

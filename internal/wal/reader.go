@@ -1,0 +1,214 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"io/fs"
+
+	"provex/internal/tweet"
+)
+
+// This file is the replication read surface of the log: ReadBatch lets
+// a shipping service stream CRC-verified record payloads to follower
+// replicas while the single writer keeps appending. Readers use their
+// own file handles and consult only immutable fields (fs, dir) plus the
+// atomic synced watermark, so they never contend with — or block — the
+// ingest path.
+
+// ErrGap reports that the log cannot supply a contiguous run of
+// sequences after the requested point: the records were truncated away
+// by a checkpoint, or a sealed file is unreadable. Replication
+// followers react by re-bootstrapping from the newest checkpoint
+// instead of silently skipping messages.
+var ErrGap = errors.New("wal: sequence gap")
+
+// Cursor is a resumable read position: segment number plus the byte
+// offset of the next record header. It is strictly an optimization
+// hint — ReadBatch falls back to a full scan whenever the hinted
+// position is missing, stale, or misaligned — so callers may persist
+// it loosely or lose it entirely without correctness cost.
+type Cursor struct {
+	Seg int
+	Off int64
+}
+
+// Batch is one ReadBatch result: encoded record payloads (CRC-verified
+// on read, decodable with DecodeRecord) in strictly contiguous
+// ascending sequence order starting at after+1, the cursor to resume
+// from, and the durability watermark observed before the scan.
+type Batch struct {
+	Records [][]byte
+	Next    Cursor
+	Synced  uint64
+}
+
+// SyncedSeq returns the durable watermark: the highest sequence known
+// to be fully on stable storage. Safe from any goroutine.
+func (l *Log) SyncedSeq() uint64 { return l.synced.Load() }
+
+// EncodeRecord flattens (seq, m) into the canonical WAL record payload
+// (the bytes ReadBatch ships and DecodeRecord parses).
+func EncodeRecord(seq uint64, m *tweet.Message) []byte { return encodeRecord(seq, m) }
+
+// DecodeRecord parses one record payload back into its sequence and
+// message. It is the follower-side inverse of EncodeRecord.
+func DecodeRecord(payload []byte) (uint64, *tweet.Message, error) { return decodeRecord(payload) }
+
+// defaultBatchBytes bounds a ReadBatch when the caller passes no limit.
+const defaultBatchBytes = 1 << 20
+
+// ReadBatch collects record payloads with sequence in (after, synced]
+// up to roughly maxBytes (always at least one record when any are
+// available), resuming from hint when it is usable. It is safe to call
+// concurrently with the writer: only durable records — covered by the
+// synced watermark, whose store ordering guarantees their bytes are
+// visible — are ever shipped, so an in-flight torn tail is never
+// misread as data.
+//
+// An empty batch with a nil error means the follower is caught up to
+// the watermark. ErrGap means the records the caller needs are gone
+// (checkpoint truncation passed the follower by); the caller must
+// re-bootstrap from a checkpoint rather than resume.
+func (l *Log) ReadBatch(after uint64, hint Cursor, maxBytes int) (Batch, error) {
+	synced := l.synced.Load()
+	b := Batch{Synced: synced, Next: hint}
+	if synced <= after {
+		return b, nil
+	}
+	if maxBytes <= 0 {
+		maxBytes = defaultBatchBytes
+	}
+	segs, err := l.listFiles()
+	if err != nil {
+		return Batch{}, fmt.Errorf("wal: %w", err)
+	}
+	// Hinted attempt: resume where the previous batch ended. Anything
+	// suspicious about the result — no records where the watermark says
+	// there are some, or a first sequence that is not exactly after+1 —
+	// discards it in favor of a full scan; sequence numbers, not the
+	// cursor, are the source of truth.
+	if i := segIndex(segs, hint.Seg); i >= 0 && hint.Off >= int64(len(walMagic)) {
+		hb := Batch{Synced: synced}
+		if err := l.scanRun(segs[i:], hint.Off, after, synced, maxBytes, &hb); err != nil {
+			return Batch{}, err
+		}
+		if len(hb.Records) > 0 && recordSeq(hb.Records[0]) == after+1 {
+			return hb, nil
+		}
+	}
+	fb := Batch{Synced: synced}
+	if err := l.scanRun(segs, 0, after, synced, maxBytes, &fb); err != nil {
+		return Batch{}, err
+	}
+	if len(fb.Records) == 0 || recordSeq(fb.Records[0]) != after+1 {
+		return Batch{}, fmt.Errorf("%w: no contiguous records after %d (synced %d)", ErrGap, after, synced)
+	}
+	return fb, nil
+}
+
+// scanRun walks segs in order, starting the first at off and the rest
+// at their magic, appending shippable payloads to b until the byte
+// budget, the watermark, or an unreadable region stops it.
+func (l *Log) scanRun(segs []int, off int64, after, synced uint64, budget int, b *Batch) error {
+	for _, seg := range segs {
+		cont, err := l.readSeg(seg, off, after, synced, &budget, b)
+		if err != nil {
+			return err
+		}
+		if !cont {
+			return nil
+		}
+		off = 0
+	}
+	return nil
+}
+
+// readSeg scans one segment from off (0 means verify the magic first),
+// appending records with sequence in (after, synced] to b and advancing
+// b.Next past every intact record it passes. The return value says
+// whether scanning should continue into the next segment: true only on
+// a clean end-of-file. Any anomaly — torn bytes, a bad checksum, an
+// in-flight record past the watermark, an exhausted budget — stops the
+// whole run, because records collected after skipping an unreadable
+// region would hide a sequence gap inside the batch. A segment that
+// vanished (concurrent checkpoint truncation) is skipped only while the
+// batch is still empty; the contiguity check in ReadBatch decides
+// whether what remains is servable.
+func (l *Log) readSeg(seg int, off int64, after, synced uint64, budget *int, b *Batch) (bool, error) {
+	f, err := l.fs.Open(l.filePath(seg))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return len(b.Records) == 0, nil
+		}
+		return false, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	if off < int64(len(walMagic)) {
+		var magic [8]byte
+		if _, err := io.ReadFull(f, magic[:]); err != nil || magic != walMagic {
+			// Stillborn file (crash or in-flight startFile): no records.
+			return false, nil
+		}
+		off = int64(len(walMagic))
+	} else if _, err := f.Seek(off, io.SeekStart); err != nil {
+		return false, nil
+	}
+	var hdr [recordHeaderSize]byte
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			// A clean EOF is the segment boundary; anything torn is the
+			// writer's in-flight tail (or corruption) — stop the run.
+			return err == io.EOF, nil
+		}
+		length := int64(binary.LittleEndian.Uint32(hdr[0:4]))
+		wantCRC := binary.LittleEndian.Uint32(hdr[4:8])
+		if length > maxRecordLen {
+			return false, nil
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return false, nil
+		}
+		if crc32.Checksum(payload, crcTable) != wantCRC {
+			return false, nil
+		}
+		seq, n := binary.Uvarint(payload)
+		if n <= 0 {
+			return false, nil
+		}
+		if seq > synced {
+			// Not yet durable on this node; never ship it.
+			return false, nil
+		}
+		off += recordHeaderSize + length
+		if seq > after {
+			b.Records = append(b.Records, payload)
+			*budget -= recordHeaderSize + int(length)
+		}
+		b.Next = Cursor{Seg: seg, Off: off}
+		if *budget <= 0 && len(b.Records) > 0 {
+			return false, nil
+		}
+	}
+}
+
+// recordSeq peeks the sequence number off an encoded record payload.
+// Only called on payloads readSeg already CRC-verified and uvarint-
+// checked, so decoding cannot fail here.
+func recordSeq(payload []byte) uint64 {
+	seq, _ := binary.Uvarint(payload)
+	return seq
+}
+
+// segIndex finds n in the ascending segment list, or -1.
+func segIndex(segs []int, n int) int {
+	for i, s := range segs {
+		if s == n {
+			return i
+		}
+	}
+	return -1
+}

@@ -88,6 +88,12 @@ type Log struct {
 	lastSeq uint64       // highest sequence appended or replayed
 	broken  error        // set when a torn tail could not be repaired; appends refused
 
+	// synced is the shipping watermark: the highest sequence known to be
+	// fully on stable storage. Atomic, because replication readers
+	// (ReadBatch) consult it from HTTP handler goroutines while the
+	// single writer appends.
+	synced atomic.Uint64
+
 	// Observability: record-write latency, fsync-batch latency (one
 	// observation per physical fsync, covering SyncEvery records), and
 	// truncations. Exported via RegisterMetrics.
@@ -167,6 +173,7 @@ func Open(dir string, opts Options) (*Log, error) {
 		if err := l.startFile(); err != nil {
 			return nil, err
 		}
+		l.synced.Store(l.lastSeq)
 		return l, nil
 	}
 	// Reopen the final file for appending, truncating any torn tail.
@@ -183,6 +190,8 @@ func Open(dir string, opts Options) (*Log, error) {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
 	l.f = f
+	// Everything that survived recovery is on disk by definition.
+	l.synced.Store(l.lastSeq)
 	return l, nil
 }
 
@@ -472,6 +481,7 @@ func (l *Log) Sync() error {
 	}
 	l.syncHist.Observe(int64(time.Since(start)))
 	l.pending = 0
+	l.synced.Store(l.lastSeq)
 	return nil
 }
 

@@ -19,6 +19,7 @@ import (
 	"provex/internal/metrics"
 	"provex/internal/pipeline"
 	"provex/internal/query"
+	"provex/internal/repl"
 	"provex/internal/server"
 	"provex/internal/trace"
 )
@@ -45,6 +46,20 @@ func fullRegistry(t *testing.T) *metrics.Registry {
 	svc.RegisterMetrics(reg)
 	rec := trace.New(trace.Options{SampleEvery: 1})
 	rec.RegisterMetrics(reg)
+	// leader-side WAL shipping families
+	repl.NewSource(dur, repl.SourceOptions{}).RegisterMetrics(reg)
+	// follower families; the replica is never started, so only its
+	// repl_-level instruments register (its engine/WAL/pipeline series
+	// are the same families the durable node above already exports)
+	rep, err := repl.NewReplica("http://leader.invalid", core.FullIndexConfig(), repl.ReplicaOptions{
+		FS:             fsx.NewMem(),
+		CheckpointPath: "replica.ckpt",
+		WALDir:         "replica-wal",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.RegisterMetrics(reg)
 	// registers HTTP + backend-snapshot + build-info/process families
 	server.New(svc, server.WithRegistry(reg), server.WithTrace(rec))
 	return reg
