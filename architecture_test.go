@@ -1,0 +1,111 @@
+package provex_test
+
+// Doc-drift contract for ARCHITECTURE.md: the map must mention every
+// internal/ package and every cmd/ binary by name. The directory
+// listing is read live, so adding a package without a row here (or
+// renaming one and orphaning its row) fails the build, the same deal
+// observability_test.go enforces for metric families.
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// entries lists the subdirectory names of dir (non-directories are
+// skipped; hidden directories too).
+func entries(t *testing.T, dir string) []string {
+	t.Helper()
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, de := range des {
+		if de.IsDir() && !strings.HasPrefix(de.Name(), ".") {
+			names = append(names, de.Name())
+		}
+	}
+	if len(names) == 0 {
+		t.Fatalf("no subdirectories under %s", dir)
+	}
+	return names
+}
+
+func TestArchitectureDocCoversTree(t *testing.T) {
+	doc, err := os.ReadFile("ARCHITECTURE.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(doc)
+	for _, pkg := range entries(t, "internal") {
+		// A package is "mentioned" when its name appears as a word —
+		// backtick-quoted in the tables, or bare in the diagrams.
+		if !strings.Contains(text, "`"+pkg+"`") && !containsWord(text, pkg) {
+			t.Errorf("internal/%s is not mentioned in ARCHITECTURE.md", pkg)
+		}
+	}
+	for _, bin := range entries(t, "cmd") {
+		if !strings.Contains(text, bin) {
+			t.Errorf("cmd/%s is not mentioned in ARCHITECTURE.md", bin)
+		}
+	}
+}
+
+// TestArchitectureDocNamesExist is the reverse direction: every
+// `internal/...` path the map cites must exist in the tree, so a
+// package rename cannot orphan its documentation.
+func TestArchitectureDocNamesExist(t *testing.T) {
+	doc, err := os.ReadFile("ARCHITECTURE.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(string(doc), "\n") {
+		for rest := line; ; {
+			i := strings.Index(rest, "internal/")
+			if i < 0 {
+				break
+			}
+			name := rest[i+len("internal/"):]
+			if j := strings.IndexAny(name, "`{ .,|)"); j >= 0 {
+				name = name[:j]
+			}
+			rest = rest[i+len("internal/"):]
+			if name == "" {
+				continue
+			}
+			if _, err := os.Stat("internal/" + name); err != nil {
+				t.Errorf("ARCHITECTURE.md cites internal/%s which does not exist (line: %s)",
+					name, strings.TrimSpace(line))
+			}
+		}
+	}
+}
+
+// containsWord reports whether text contains name delimited by
+// non-identifier characters (so "core" in "score" does not count).
+func containsWord(text, name string) bool {
+	for idx := 0; ; {
+		i := strings.Index(text[idx:], name)
+		if i < 0 {
+			return false
+		}
+		i += idx
+		before := byte(' ')
+		if i > 0 {
+			before = text[i-1]
+		}
+		after := byte(' ')
+		if j := i + len(name); j < len(text) {
+			after = text[j]
+		}
+		if !isIdent(before) && !isIdent(after) {
+			return true
+		}
+		idx = i + len(name)
+	}
+}
+
+func isIdent(b byte) bool {
+	return b == '_' || (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z') || (b >= '0' && b <= '9')
+}

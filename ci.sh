@@ -164,4 +164,17 @@ grep -q '"schema": "provbench/1"' "$obs_tmp/bench.json" \
 echo "== perf smoke (fig13 linearity) =="
 go run ./cmd/provbench -figure fig13 -max 40000 -check-linear 1.5 -out /dev/null
 
+# Sharded ingest gate (DESIGN.md §2i): the differential equivalence
+# proof and the sharded crash torture under the race detector, uncached
+# — these are the correctness contract for -shards > 1 — then the
+# fig13 stage-linearity smoke once more on a 4-shard engine, so the
+# round protocol cannot regress the §2g hot-path guarantees.
+echo "== sharded engine (equivalence + crash torture, -race) =="
+go test -race -count=1 \
+    -run 'TestShardedEquivalenceWithSerial|TestShardedDeterminism|TestShardedCrashTorture' \
+    -v ./internal/shard | grep -E 'seed|PASS|FAIL|ok '
+
+echo "== perf smoke (fig13 linearity, 4 shards) =="
+go run ./cmd/provbench -figure fig13 -max 30000 -shards 4 -check-linear 1.5 -out /dev/null
+
 echo "CI OK"

@@ -22,6 +22,7 @@ import (
 	"provex/internal/cli"
 	"provex/internal/core"
 	"provex/internal/pipeline"
+	"provex/internal/shard"
 	"provex/internal/storage"
 	"provex/internal/stream"
 	"provex/internal/trace"
@@ -37,6 +38,8 @@ func main() {
 		progress    = flag.Int("progress", 100_000, "print a progress line every N messages (0 = off)")
 		workers     = flag.Int("workers", 1, "concurrent prepare (keyword extraction) workers; <=1 ingests serially")
 		matchWkrs   = flag.Int("match-workers", 1, "concurrent Eq. 1 match-scoring workers on large candidate sets; <=1 scores serially")
+		shards      = flag.Int("shards", 1, "independent engine shards; >1 ingests through the two-phase round protocol (DESIGN.md section 2i)")
+		shardBatch  = flag.Int("shard-batch", shard.DefaultBatch, "messages buffered per sharded round (only with -shards > 1)")
 		traceSample = flag.Int("trace-sample", 0, "record every Nth ingest decision and print a decision-quality digest (0 = off)")
 		traceBuffer = flag.Int("trace-buffer", trace.DefaultBuffer, "decisions and refinement events retained in the trace rings")
 		logLevel    = cli.LogLevelFlag()
@@ -64,15 +67,33 @@ func main() {
 		cli.Fatal("unknown mode (want full, partial or limit)", nil, "mode", *mode)
 	}
 	cfg.Parallel = core.ParallelOptions{Workers: *workers, MatchWorkers: *matchWkrs}
+	if *shards < 1 {
+		*shards = 1
+	}
 
+	// Serial mode uses one store at -store; sharded mode gives each
+	// shard its own store under -store/shard-NNN (same layout as
+	// shard.OpenDurable).
 	var store *storage.Store
-	if *storeDir != "" {
+	var stores []*storage.Store
+	if *storeDir != "" && *shards == 1 {
 		var err error
 		store, err = storage.Open(*storeDir, storage.Options{})
 		if err != nil {
 			cli.Fatal("open store", err, "path", *storeDir)
 		}
 		defer store.Close()
+	}
+	if *storeDir != "" && *shards > 1 {
+		for i := 0; i < *shards; i++ {
+			dir := fmt.Sprintf("%s/shard-%03d", *storeDir, i)
+			st, err := storage.Open(dir, storage.Options{})
+			if err != nil {
+				cli.Fatal("open shard store", err, "path", dir)
+			}
+			defer st.Close()
+			stores = append(stores, st)
+		}
 	}
 
 	r := os.Stdin
@@ -85,11 +106,31 @@ func main() {
 		r = f
 	}
 
-	eng := core.New(cfg, store, nil)
-	var rec *trace.Recorder
-	if *traceSample > 0 {
-		rec = trace.New(trace.Options{SampleEvery: *traceSample, Buffer: *traceBuffer, Logger: slog.Default()})
-		eng.SetTracer(rec)
+	// One engine or N: the sharded engine shares the prepared-message
+	// apply contract, so the read/prepare loop below is mode-agnostic.
+	var (
+		eng *core.Engine
+		sh  *shard.Engine
+		rec *trace.Recorder
+	)
+	if *shards > 1 {
+		if *traceSample > 0 {
+			// trace.Recorder is not safe for the concurrent commit
+			// goroutines; see DESIGN.md section 2i.
+			slog.Warn("tracing is unavailable with -shards > 1; disabling", "shards", *shards)
+			*traceSample = 0
+		}
+		var err error
+		sh, err = shard.New(cfg, shard.Options{Shards: *shards, Batch: *shardBatch}, stores, nil)
+		if err != nil {
+			cli.Fatal("sharded engine", err)
+		}
+	} else {
+		eng = core.New(cfg, store, nil)
+		if *traceSample > 0 {
+			rec = trace.New(trace.Options{SampleEvery: *traceSample, Buffer: *traceBuffer, Logger: slog.Default()})
+			eng.SetTracer(rec)
+		}
 	}
 	src := stream.NewJSONLReader(r)
 
@@ -131,13 +172,25 @@ loop:
 		if err != nil {
 			cli.Fatal("read", err)
 		}
-		eng.InsertPrepared(p)
+		if sh != nil {
+			if err := sh.IngestPrepared(p); err != nil {
+				cli.Fatal("sharded ingest", err)
+			}
+		} else {
+			eng.InsertPrepared(p)
+		}
 		n++
 		if *progress > 0 && n%*progress == 0 {
-			st := eng.Snapshot()
+			st := snapshotOf(eng, sh)
 			slog.Info("progress", "messages", n, "bundles_live", st.BundlesLive,
 				"mem_mb", fmt.Sprintf("%.1f", float64(st.MemTotal())/(1<<20)),
 				"seconds", fmt.Sprintf("%.1f", time.Since(start).Seconds()))
+		}
+	}
+	if sh != nil {
+		// Resolve the buffered partial round before reporting.
+		if err := sh.Flush(); err != nil {
+			cli.Fatal("sharded flush", err)
 		}
 	}
 	if store != nil {
@@ -150,11 +203,23 @@ loop:
 			cli.Fatal("store sync", err)
 		}
 	}
-	if err := eng.Err(); err != nil {
+	for i, st := range stores {
+		if err := sh.ShardEngine(i).DrainFlushRetries(); err != nil {
+			cli.Fatal("flush drain", err, "shard", i)
+		}
+		if err := st.Sync(); err != nil {
+			cli.Fatal("store sync", err, "shard", i)
+		}
+	}
+	if sh != nil {
+		if err := sh.Err(); err != nil {
+			cli.Fatal("engine", err)
+		}
+	} else if err := eng.Err(); err != nil {
 		cli.Fatal("engine", err)
 	}
 
-	st := eng.Snapshot()
+	st := snapshotOf(eng, sh)
 	elapsed := time.Since(start)
 	fmt.Printf("mode            %s\n", *mode)
 	fmt.Printf("messages        %d\n", st.Messages)
@@ -184,8 +249,26 @@ loop:
 		st.RefineTime.Seconds(), pct(st.RefineTime))
 	fmt.Printf("workers         prepare=%d match=%d\n", *workers, *matchWkrs)
 	fmt.Printf("wall time       %.2fs (%.0f msg/s)\n", elapsed.Seconds(), float64(n)/elapsed.Seconds())
+	if sh != nil {
+		// Per-shard balance, cross-shard resolution rate, and the
+		// critical-path (span) throughput an unstarved scheduler would
+		// reach — see EXPERIMENTS.md "Sharded scaling".
+		fmt.Printf("shards          %d (batch %d, rounds %d, cross-shard %d = %.1f%%)\n",
+			sh.Shards(), sh.Batch(), sh.Rounds(), sh.Cross(), 100*float64(sh.Cross())/float64(max(n, 1)))
+		for i := 0; i < sh.Shards(); i++ {
+			ss := sh.ShardSnapshot(i)
+			fmt.Printf("  shard[%d]      %d msgs, %d bundles live\n", i, ss.Messages, ss.BundlesLive)
+		}
+		span := sh.Span()
+		fmt.Printf("span time       probe=%.2fs reduce=%.2fs commit=%.2fs total=%.2fs (%.0f msg/s span)\n",
+			span.Probe.Seconds(), span.Reduce.Seconds(), span.Commit.Seconds(),
+			span.Total().Seconds(), float64(n)/span.Total().Seconds())
+	}
 	if store != nil {
 		fmt.Printf("store           %d bundles, %.1f MB live\n", store.Count(), float64(store.LiveBytes())/(1<<20))
+	}
+	for i, st := range stores {
+		fmt.Printf("store[%d]        %d bundles, %.1f MB live\n", i, st.Count(), float64(st.LiveBytes())/(1<<20))
 	}
 	if rec != nil {
 		// Decision-quality digest over the retained trace window: how
@@ -197,4 +280,13 @@ loop:
 			dg.Decisions, 100*dg.NewBundleRate, dg.MeanMargin,
 			100*dg.NearTieRate, dg.NearTie, len(rec.Refinements(rec.Buffer())))
 	}
+}
+
+// snapshotOf reads aggregate statistics from whichever engine shape is
+// active.
+func snapshotOf(eng *core.Engine, sh *shard.Engine) core.Stats {
+	if sh != nil {
+		return sh.Snapshot()
+	}
+	return eng.Snapshot()
 }

@@ -38,6 +38,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -49,6 +50,7 @@ import (
 	"provex/internal/query"
 	"provex/internal/repl"
 	"provex/internal/server"
+	"provex/internal/shard"
 	"provex/internal/stream"
 	"provex/internal/trace"
 )
@@ -65,6 +67,7 @@ func main() {
 		staleAfter  = flag.Duration("stale-after", 30*time.Second, "follower gates reads after this much leader silence (staleness unquantifiable)")
 		ckpt        = flag.String("ckpt", "", "checkpoint path: resume from it when present, keep it updated while running")
 		walDir      = flag.String("wal", "", "write-ahead log directory (live mode, requires -ckpt): crash-safe ingest — acknowledged messages survive a kill")
+		shards      = flag.Int("shards", 1, "engine shards; >1 ingests through the sharded round protocol (0 = auto: min(GOMAXPROCS, 8)); replication and tracing require 1")
 		pprofOn     = flag.Bool("pprof", false, "expose /debug/pprof/ runtime profiles (opt-in: costs CPU while sampling)")
 		logEvery    = flag.Duration("log-every", 10*time.Second, "cadence of structured progress lines in live mode")
 		traceSample = flag.Int("trace-sample", 0, "record every Nth ingest decision for /explain and /trace/* (0 = tracing off)")
@@ -75,13 +78,30 @@ func main() {
 	if err := cli.SetupLogging(*logLevel); err != nil {
 		cli.Fatal("flags", err)
 	}
+	ns := *shards
+	if ns == 0 {
+		ns = min(runtime.GOMAXPROCS(0), 8)
+	}
+	if ns > 1 && *traceSample > 0 {
+		// trace.Recorder is not safe for the concurrent commit
+		// goroutines; see DESIGN.md section 2i.
+		slog.Warn("tracing is unavailable with -shards > 1; disabling", "shards", ns)
+		*traceSample = 0
+	}
 	rec := newRecorder(*traceSample, *traceBuffer)
 
 	if *follow != "" {
+		if ns > 1 {
+			cli.Fatal("flags", errors.New("-follow requires -shards 1: WAL shipping replicates a single serial log (DESIGN.md section 2i)"))
+		}
 		serveFollower(*follow, *addr, *ckpt, *walDir, *maxLag, *staleAfter, *pprofOn, *logEvery)
 		return
 	}
 	src := openSource(*in, *n, *seed, *live)
+	if ns > 1 {
+		serveSharded(src, ns, *addr, *ckpt, *walDir, *live, *pprofOn, *logEvery)
+		return
+	}
 	if *live {
 		serveLive(src, *addr, *ckpt, *walDir, *pprofOn, *logEvery, rec)
 		return
@@ -275,6 +295,126 @@ func ingestAll(proc *query.Processor, src stream.Source) int {
 		proc.Insert(m)
 		count++
 	}
+}
+
+// serveSharded hosts the site on the sharded round engine (DESIGN.md
+// section 2i): N shards ingest through two-phase rounds, queries fan
+// out and merge under the serial tie order. With -ckpt and -wal the
+// node is durable — -ckpt holds the cross-shard manifest and -wal the
+// per-shard WAL/checkpoint tree, with the coordinated barrier keeping
+// recovery crash-consistent across shards. Replication shipping is a
+// single-shard feature: a sharded leader exposes no /repl/ endpoints.
+func serveSharded(src stream.Source, ns int, addr, ckpt, walDir string, live, pprofOn bool, logEvery time.Duration) {
+	cfg := core.FullIndexConfig()
+	q := query.DefaultOptions()
+	opts := shard.Options{Shards: ns, Query: &q}
+	reg := metrics.NewRegistry()
+	var eng *shard.Engine
+	var dur *shard.Durable
+	svcOpts := shard.ServiceOptions{}
+	switch {
+	case walDir != "" && ckpt == "":
+		cli.Fatal("flags", errors.New("-wal requires -ckpt"))
+	case ckpt != "" && walDir == "":
+		cli.Fatal("flags", errors.New("sharded mode: -ckpt requires -wal (the checkpoint is a manifest over the per-shard tree)"))
+	case walDir != "":
+		var err error
+		dur, err = shard.OpenDurable(cfg, opts, shard.DurableOptions{
+			Dir:          walDir,
+			ManifestPath: ckpt,
+			WALSyncEvery: 64,
+		})
+		if err != nil {
+			cli.Fatal("sharded durable open", err)
+		}
+		eng = dur.Engine
+		if g := eng.Global(); g > 0 {
+			slog.Info("recovered", "messages", g, "wal_replayed", dur.Replayed())
+		}
+		// Recovery bypassed the processors; rebuild their baseline
+		// message indexes from the recovered pools.
+		eng.Reindex()
+		dur.RegisterMetrics(reg)
+		svcOpts.CheckpointEvery = 50_000
+	default:
+		var err error
+		eng, err = shard.New(cfg, opts, nil, nil)
+		if err != nil {
+			cli.Fatal("sharded engine", err)
+		}
+	}
+	eng.RegisterMetrics(reg)
+	svc, err := shard.NewService(eng, dur, svcOpts)
+	if err != nil {
+		cli.Fatal("sharded service", err)
+	}
+	svc.RegisterMetrics(reg)
+	svc.Start()
+
+	feed := func() {
+		for {
+			m, err := src.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				cli.Fatal("read", err)
+			}
+			if err := svc.Submit(m); err != nil {
+				if errors.Is(err, shard.ErrClosed) {
+					return // shutdown raced the feed; drop the rest
+				}
+				cli.Fatal("submit", err)
+			}
+		}
+	}
+	if live {
+		go func() {
+			feed()
+			slog.Info("input drained, still serving", "messages", svc.Ingested())
+		}()
+	} else {
+		// Build-then-serve: ingest everything before listening. The
+		// service stays up for queries after Stop — only ingest closes.
+		start := time.Now()
+		feed()
+		if err := svc.Stop(); err != nil {
+			cli.Fatal("sharded ingest", err)
+		}
+		st := svc.Snapshot()
+		slog.Info("indexed", "messages", svc.Ingested(), "bundles", st.BundlesLive,
+			"shards", ns, "seconds", fmt.Sprintf("%.1f", time.Since(start).Seconds()))
+	}
+
+	go func() {
+		for range time.Tick(logEvery) {
+			st := svc.Snapshot()
+			attrs := []any{
+				"messages", st.Messages,
+				"bundles", st.BundlesLive,
+				"shards", ns,
+				"mem_mb", fmt.Sprintf("%.1f", float64(st.MemTotal())/(1<<20)),
+				"checkpoints", svc.Checkpoints(),
+			}
+			if st.Degraded() {
+				attrs = append(attrs, "flush_parked", st.FlushParked, "flush_dropped", st.FlushDropped)
+			}
+			slog.Info("live", attrs...)
+		}
+	}()
+
+	slog.Info("sharded mode", "addr", addr, "shards", ns, "live", live, "durable", dur != nil,
+		"note", "replication shipping requires -shards 1")
+	serveHTTP(addr, server.New(svc, serverOptions(reg, pprofOn, nil)...), func() {
+		if err := svc.Stop(); err != nil {
+			slog.Error("sharded stop", "err", err)
+		}
+		if dur != nil {
+			if err := dur.Close(); err != nil {
+				slog.Error("sharded close", "err", err)
+			}
+		}
+	})
 }
 
 // serveLive runs the concurrent pipeline: ingest from src in the

@@ -224,6 +224,13 @@ func (s Stats) MemTotal() int64 { return s.MemBundles + s.MemIndex }
 // on the pipeline package's worker pool ahead of the apply loop, and
 // ParallelOptions.MatchWorkers fans the Eq. 1 candidate scan over
 // read-only goroutines within a single insert (see DESIGN.md §2c).
+//
+// The sharded engine (internal/shard, DESIGN.md §2i) runs N Engines
+// side by side, one goroutine per shard per phase; the contract is
+// per-engine: a given Engine is still owned by exactly one goroutine at
+// a time. Probe is the read-only exception — it may run on one shard's
+// engine while sibling engines insert, because it touches only that
+// engine's own pool/index state plus atomic counters.
 type Engine struct {
 	cfg   Config
 	pool  *pool.Pool
@@ -313,15 +320,20 @@ func New(cfg Config, store *storage.Store, onEdge EdgeFunc) *Engine {
 // atomically readable — pool occupancy, memory estimates, the flush
 // retry queue — is intentionally absent: the HTTP layer exports it from
 // lock-guarded Stats snapshots instead (see server.New).
-func (e *Engine) RegisterMetrics(reg *metrics.Registry) {
+//
+// labels are extra key/value pairs baked into every series — the
+// sharded engine registers each shard's engine with ("shard", "i") so
+// per-shard series coexist in one registry and roll up with sum by ().
+func (e *Engine) RegisterMetrics(reg *metrics.Registry, labels ...string) {
+	with := func(extra ...string) []string { return append(append([]string(nil), labels...), extra...) }
 	reg.RegisterCounter("provex_ingest_messages_total",
-		"Messages ingested (Algorithm 1 applications).", &e.messages)
+		"Messages ingested (Algorithm 1 applications).", &e.messages, labels...)
 	reg.RegisterCounter("provex_ingest_edges_total",
-		"Provenance edges discovered between messages.", &e.edges)
+		"Provenance edges discovered between messages.", &e.edges, labels...)
 	for c := score.ConnText; c <= score.ConnRT; c++ {
 		reg.RegisterCounter("provex_ingest_connections_total",
 			"Provenance edges by connection type (Table II).",
-			&e.connCounts[c], "conn", c.String())
+			&e.connCounts[c], with("conn", c.String())...)
 	}
 	for _, s := range []struct {
 		stage string
@@ -334,26 +346,26 @@ func (e *Engine) RegisterMetrics(reg *metrics.Registry) {
 	} {
 		reg.RegisterTimer("provex_ingest_stage_seconds",
 			"Cumulative ingest time per Algorithm 1 stage (Figure 13's match/placement/refinement split; prepare is the parallel tokenize stage).",
-			s.t, "stage", s.stage)
+			s.t, with("stage", s.stage)...)
 	}
 	reg.RegisterCounter("provex_place_nodes_scored_total",
-		"Bundle nodes scored with Eq. 5 during message placement.", &e.placeScored)
+		"Bundle nodes scored with Eq. 5 during message placement.", &e.placeScored, labels...)
 	reg.RegisterCounter("provex_place_nodes_skipped_total",
-		"Bundle nodes the pruned placement skipped (node-index pruning + score-bound early stop; DESIGN.md section 2g).", &e.placeSkipped)
+		"Bundle nodes the pruned placement skipped (node-index pruning + score-bound early stop; DESIGN.md section 2g).", &e.placeSkipped, labels...)
 	reg.RegisterCounter("provex_place_early_stop_total",
-		"Placements whose bound-ordered candidate scan stopped before the last group (early-termination rate = this / provex_ingest_messages_total).", &e.placeEarlyStop)
+		"Placements whose bound-ordered candidate scan stopped before the last group (early-termination rate = this / provex_ingest_messages_total).", &e.placeEarlyStop, labels...)
 	reg.RegisterCounter("provex_match_candidates_pruned_total",
-		"Match candidates skipped before Eq. 1 scoring because their score upper bound could not beat the running best.", &e.matchPruned)
+		"Match candidates skipped before Eq. 1 scoring because their score upper bound could not beat the running best.", &e.matchPruned, labels...)
 	reg.RegisterHistogram("provex_place_skipped_nodes",
 		"Distribution of nodes skipped per placement by the pruned Algorithm 2 scan.",
-		e.placeSkipHist, 1)
+		e.placeSkipHist, 1, labels...)
 	reg.RegisterCounter("provex_flush_retries_total",
-		"Re-attempted bundle flushes after a storage failure.", &e.flushRetries)
+		"Re-attempted bundle flushes after a storage failure.", &e.flushRetries, labels...)
 	reg.RegisterCounter("provex_flush_dropped_total",
-		"Bundles permanently lost after exhausting flush retries.", &e.flushDropped)
+		"Bundles permanently lost after exhausting flush retries.", &e.flushDropped, labels...)
 	reg.RegisterHistogram("provex_pool_eviction_g_score",
 		"Equation 6 eviction score G(B) of ranked refinement victims (unit: G, i.e. hours of quiet age + 1/|B|).",
-		e.gHist, 1000)
+		e.gHist, 1000, labels...)
 }
 
 // SetTracer attaches a decision recorder: sampled inserts capture the
@@ -630,6 +642,59 @@ func (e *Engine) InsertPrepared(p Prepared) InsertResult {
 	}
 	return res
 }
+
+// ProbeResult is the outcome of a read-only Eq. 1 match probe. Created
+// and FirstMsg identify the winning bundle by its creation event (the
+// date and ID of the message that opened it) — a shard-independent
+// total order the sharded router uses to break exact score ties the
+// same way the serial engine's lowest-bundle-ID rule does (bundle IDs
+// are allocated in creation order, so "lowest ID" and "earliest
+// creation" coincide; see DESIGN.md §2i).
+type ProbeResult struct {
+	Bundle   bundle.ID
+	Score    float64
+	Created  time.Time // date of the bundle's first message
+	FirstMsg tweet.ID  // ID of the bundle's first message
+	OK       bool      // a bundle scored strictly above the join threshold
+}
+
+// Probe runs the match stage of Algorithm 1 without mutating anything:
+// candidate fetch plus the serial Eq. 1 scoring loop, returning the
+// best open bundle strictly above the join threshold. It is the phase-1
+// primitive of the sharded two-phase protocol: every shard probes the
+// same message against its local state, and the router commits the
+// message to the shard with the globally best result.
+//
+// Probe may run concurrently with other engines' inserts but not with
+// this engine's own mutations (it shares the summary index's candidate
+// scratch buffer with matchBundle). The pruning counter it bumps is
+// atomic.
+func (e *Engine) Probe(doc score.Doc) ProbeResult {
+	cands := e.index.Candidates(doc)
+	fetch := e.index.LastFetch()
+	if e.cfg.MaxCandidates > 0 && len(cands) > e.cfg.MaxCandidates {
+		cands = cands[:e.cfg.MaxCandidates]
+	}
+	b, s := e.matchRange(doc, cands, fetch, nil)
+	if b == nil {
+		return ProbeResult{}
+	}
+	first := b.Nodes()[0].Doc.Msg
+	return ProbeResult{
+		Bundle:   b.ID(),
+		Score:    s,
+		Created:  first.Date,
+		FirstMsg: first.ID,
+		OK:       true,
+	}
+}
+
+// AdvanceClock moves the engine's simulated clock forward to t (older
+// instants are ignored). The sharded commit phase calls it so shards
+// that won no message in a round still age their pools in lockstep with
+// the stream — Algorithm 3 refinement and trending decay stay globally
+// timed.
+func (e *Engine) AdvanceClock(t time.Time) { e.clock.AdvanceTo(t) }
 
 // matchBundle scores the summary-index candidates with Eq. 1 and
 // returns the best open bundle above the threshold, nil when none

@@ -5,6 +5,7 @@ import (
 
 	"provex/internal/core"
 	"provex/internal/gen"
+	"provex/internal/shard"
 )
 
 // Fig13Sweep is the long-stream variant of Fig13: one Partial Index
@@ -44,6 +45,45 @@ func Fig13Sweep(s Scale, max int) *Fig13SweepResult {
 	return res
 }
 
+// Fig13SweepSharded runs the same stage-time sweep through the sharded
+// round engine (DESIGN.md §2i): the checkpoints sample the aggregate
+// Snapshot, whose stage timers sum CPU time across shards, so the same
+// CheckLinear guardrail applies — sharding must not bend the pruned
+// match/placement curves back toward quadratic. The per-shard pools are
+// splitConfig ceil-divisions of the same global limit.
+func Fig13SweepSharded(s Scale, max, shards int) *Fig13SweepResult {
+	g := gen.New(s.genConfig())
+	e, err := shard.New(core.PartialIndexConfig(s.PoolLimit),
+		shard.Options{Shards: shards, Sequential: true}, nil, nil)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: sharded fig13 sweep: %v", err))
+	}
+
+	every := max / 100
+	if every < 1 {
+		every = 1
+	}
+	res := &Fig13SweepResult{Scale: s, Max: max, Shards: shards}
+	for i := 1; i <= max; i++ {
+		if err := e.Ingest(g.Next()); err != nil {
+			panic(fmt.Sprintf("experiments: sharded fig13 sweep ingest: %v", err))
+		}
+		if i%every == 0 || i == max {
+			if err := e.Flush(); err != nil {
+				panic(fmt.Sprintf("experiments: sharded fig13 sweep flush: %v", err))
+			}
+			st := e.Snapshot()
+			res.Points = append(res.Points, SweepPoint{
+				Messages:  i,
+				MatchSec:  st.MatchTime.Seconds(),
+				PlaceSec:  st.PlaceTime.Seconds(),
+				RefineSec: st.RefineTime.Seconds(),
+			})
+		}
+	}
+	return res
+}
+
 // SweepPoint is one checkpoint of the Figure 13 sweep: cumulative
 // seconds spent per pipeline stage after Messages inserts.
 type SweepPoint struct {
@@ -59,13 +99,18 @@ type SweepPoint struct {
 type Fig13SweepResult struct {
 	Scale  Scale        `json:"scale"`
 	Max    int          `json:"max"`
+	Shards int          `json:"shards,omitempty"` // 0 = serial engine
 	Points []SweepPoint `json:"points"`
 }
 
 // Table renders the sweep in the Fig13 column layout.
 func (r *Fig13SweepResult) Table() *Table {
+	engine := "partial index"
+	if r.Shards > 1 {
+		engine = fmt.Sprintf("partial index, %d shards", r.Shards)
+	}
 	t := &Table{
-		Title:   fmt.Sprintf("Fig 13 sweep: cumulative stage time (seconds, partial index, %d messages)", r.Max),
+		Title:   fmt.Sprintf("Fig 13 sweep: cumulative stage time (seconds, %s, %d messages)", engine, r.Max),
 		Columns: []string{"messages", "bundle_match", "message_placement", "memory_refinement"},
 		Notes:   "paper shape: all stages linear and steady; pruned hot paths must keep match/placement linear through the full stream",
 	}

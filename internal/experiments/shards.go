@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"provex/internal/core"
+	"provex/internal/gen"
+	"provex/internal/shard"
+	"provex/internal/stream"
+	"provex/internal/tweet"
+)
+
+// ShardSweep measures sharded ingest scaling: the same stream through
+// the round engine at each shard count, reporting wall-clock throughput
+// next to critical-path (span) throughput. Span is the slowest shard's
+// probe + the serial reduce + the slowest shard's commit, summed over
+// rounds (shard.SpanStats) — the time an unstarved scheduler with one
+// core per shard would take. On core-starved hardware wall clock
+// measures the host, span measures the algorithm; BENCH_PR8.json
+// records both, and EXPERIMENTS.md "Sharded scaling" explains the
+// split. Rounds run in Sequential phase mode so per-shard busy times
+// are not polluted by goroutines contending for the same cores —
+// results are identical either way (TestShardedDeterminism).
+func ShardSweep(s Scale, counts []int, batch int) *ShardSweepResult {
+	if batch <= 0 {
+		batch = shard.DefaultBatch
+	}
+	g := gen.New(s.genConfig())
+	msgs := make([]*tweet.Message, s.Messages)
+	for i := range msgs {
+		msgs[i] = g.Next()
+	}
+
+	res := &ShardSweepResult{Scale: s, Batch: batch}
+	for _, n := range counts {
+		clones := stream.CloneSlice(msgs)
+		e, err := shard.New(core.PartialIndexConfig(s.PoolLimit),
+			shard.Options{Shards: n, Batch: batch, Sequential: true}, nil, nil)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: shard sweep: %v", err))
+		}
+		start := time.Now()
+		for _, m := range clones {
+			if err := e.Ingest(m); err != nil {
+				panic(fmt.Sprintf("experiments: shard sweep ingest: %v", err))
+			}
+		}
+		if err := e.Flush(); err != nil {
+			panic(fmt.Sprintf("experiments: shard sweep flush: %v", err))
+		}
+		wall := time.Since(start).Seconds()
+		span := e.Span()
+		st := e.Snapshot()
+		res.Points = append(res.Points, ShardPoint{
+			Shards:      n,
+			WallSec:     wall,
+			WallMsgsSec: float64(len(clones)) / wall,
+			SpanSec:     span.Total().Seconds(),
+			SpanMsgsSec: float64(len(clones)) / span.Total().Seconds(),
+			CrossPct:    100 * float64(e.Cross()) / float64(len(clones)),
+			Bundles:     int(st.BundlesLive),
+		})
+	}
+	return res
+}
+
+// ShardPoint is one shard count's measurement.
+type ShardPoint struct {
+	Shards      int     `json:"shards"`
+	WallSec     float64 `json:"wall_s"`
+	WallMsgsSec float64 `json:"wall_msgs_per_s"`
+	SpanSec     float64 `json:"span_s"`
+	SpanMsgsSec float64 `json:"span_msgs_per_s"`
+	CrossPct    float64 `json:"cross_shard_pct"`
+	Bundles     int     `json:"bundles_live"`
+}
+
+// ShardSweepResult carries the sweep points plus context; Table renders
+// the EXPERIMENTS.md scaling table, SpanSpeedup the acceptance ratio.
+type ShardSweepResult struct {
+	Scale  Scale        `json:"scale"`
+	Batch  int          `json:"batch"`
+	Points []ShardPoint `json:"points"`
+}
+
+// SpanSpeedup returns span throughput at n shards over span throughput
+// at 1 shard, 0 when either point is missing.
+func (r *ShardSweepResult) SpanSpeedup(n int) float64 {
+	var base, at float64
+	for _, p := range r.Points {
+		if p.Shards == 1 {
+			base = p.SpanMsgsSec
+		}
+		if p.Shards == n {
+			at = p.SpanMsgsSec
+		}
+	}
+	if base <= 0 {
+		return 0
+	}
+	return at / base
+}
+
+// Table renders the sweep for EXPERIMENTS.md.
+func (r *ShardSweepResult) Table() *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Sharded ingest scaling (n=%d messages, batch=%d, GOMAXPROCS=%d)",
+			r.Scale.Messages, r.Batch, runtime.GOMAXPROCS(0)),
+		Columns: []string{"shards", "wall_s", "wall_msgs_per_s", "span_s", "span_msgs_per_s", "span_speedup", "cross_shard_pct", "bundles_live"},
+		Notes: "span = per-round critical path (slowest probe + reduce + slowest commit); wall clock converges to it " +
+			"only with >= one core per shard — on fewer cores the wall column measures the host, not the algorithm",
+	}
+	for _, p := range r.Points {
+		t.AddRow(p.Shards,
+			fmt.Sprintf("%.2f", p.WallSec), fmt.Sprintf("%.0f", p.WallMsgsSec),
+			fmt.Sprintf("%.2f", p.SpanSec), fmt.Sprintf("%.0f", p.SpanMsgsSec),
+			fmt.Sprintf("%.2fx", r.SpanSpeedup(p.Shards)),
+			fmt.Sprintf("%.1f", p.CrossPct), p.Bundles)
+	}
+	return t
+}

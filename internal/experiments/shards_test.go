@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestShardSweep runs a miniature scaling sweep and pins its shape:
+// one point per requested count, positive throughput in both the wall
+// and span columns, and a rendered table carrying every count.
+func TestShardSweep(t *testing.T) {
+	s := DefaultScale()
+	s.Messages = 2400
+	s.PoolLimit = 200
+	r := ShardSweep(s, []int{1, 2, 4}, 64)
+
+	if len(r.Points) != 3 {
+		t.Fatalf("got %d points, want 3", len(r.Points))
+	}
+	for _, p := range r.Points {
+		if p.WallMsgsSec <= 0 || p.SpanMsgsSec <= 0 || p.SpanSec <= 0 {
+			t.Fatalf("non-positive throughput at %d shards: %+v", p.Shards, p)
+		}
+		if p.Bundles <= 0 {
+			t.Fatalf("no live bundles at %d shards", p.Shards)
+		}
+	}
+	if r.Points[0].CrossPct != 0 {
+		t.Fatalf("cross-shard resolutions at 1 shard: %+v", r.Points[0])
+	}
+	if sp := r.SpanSpeedup(1); sp != 1 {
+		t.Fatalf("SpanSpeedup(1) = %.2f, want 1", sp)
+	}
+	if sp := r.SpanSpeedup(4); sp <= 0 {
+		t.Fatalf("SpanSpeedup(4) = %.2f, want > 0", sp)
+	}
+
+	out := r.Table().Render()
+	for _, want := range []string{"shards", "span_msgs_per_s", "critical path"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFig13SweepSharded pins the sharded stage-time sweep: cumulative
+// checkpoints like the serial sweep, and a passing linearity guardrail
+// (tiny runs sit under the noise floor, so it must not flake).
+func TestFig13SweepSharded(t *testing.T) {
+	s := DefaultScale()
+	s.PoolLimit = 200
+	const max = 3000
+	r := Fig13SweepSharded(s, max, 4)
+
+	if len(r.Points) != 100 {
+		t.Fatalf("got %d checkpoints, want 100", len(r.Points))
+	}
+	if r.Shards != 4 {
+		t.Fatalf("Shards = %d, want 4", r.Shards)
+	}
+	prev := SweepPoint{}
+	for i, p := range r.Points {
+		if p.Messages <= prev.Messages {
+			t.Fatalf("checkpoint %d: messages %d not increasing past %d", i, p.Messages, prev.Messages)
+		}
+		if p.MatchSec < prev.MatchSec || p.PlaceSec < prev.PlaceSec {
+			t.Fatalf("checkpoint %d: cumulative stage time decreased: %+v after %+v", i, p, prev)
+		}
+		prev = p
+	}
+	if err := r.CheckLinear(1.5); err != nil {
+		t.Errorf("CheckLinear(1.5) on a %d-message sharded run: %v", max, err)
+	}
+	if !strings.Contains(r.Table().Title, "4 shards") {
+		t.Fatalf("table title missing shard count: %s", r.Table().Title)
+	}
+}

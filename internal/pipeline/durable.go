@@ -6,11 +6,14 @@
 // coverage. Checkpoint() inverts the dependency — once engine state is
 // durably on disk the log is redundant and is truncated.
 //
-// Durable is writer-side state: Log, Ingest, Checkpoint and Close must
-// all be called from the single ingest goroutine (the Service's writer
-// loop, or a serial tool's main loop). Engine reads may happen
-// concurrently under whatever lock the caller already uses for
-// queries.
+// Durable is writer-side state: Log, Ingest, Checkpoint, SyncWAL, Seq
+// and Close must all be called from the goroutine that owns this
+// Durable's shard — the Service's writer loop, a serial tool's main
+// loop, or (sharded mode, DESIGN.md §2i) the per-shard commit
+// goroutine, which owns its shard's Durable exclusively for the round.
+// Engine reads may happen concurrently under whatever lock the caller
+// already uses for queries; WALSyncedSeq and ReadWAL are safe from any
+// goroutine.
 
 package pipeline
 
@@ -39,6 +42,14 @@ type DurableOptions struct {
 	// WALSyncEvery fsyncs the log after every n appends; <=1 syncs
 	// every append (strongest guarantee, highest cost).
 	WALSyncEvery int
+	// ReplayLimit, when non-zero, caps recovery at WAL sequence
+	// ReplayLimit: records beyond it are left in the log but NOT applied
+	// to the engine. The sharded engine uses it to trim every shard back
+	// to the last round-ledger barrier so recovery lands on a globally
+	// consistent cut (DESIGN.md §2i); the caller MUST checkpoint (and
+	// thereby truncate) before appending again, or the stale tail would
+	// collide with re-issued sequence numbers.
+	ReplayLimit uint64
 }
 
 // Durable is the crash-safety shell around an engine: a WAL of raw
@@ -75,7 +86,10 @@ func OpenDurable(cfg core.Config, store *storage.Store, onEdge core.EdgeFunc, op
 	}
 	base := uint64(eng.Snapshot().Messages)
 	replayed := 0
-	err = l.Replay(base, func(_ uint64, m *tweet.Message) error {
+	err = l.Replay(base, func(seq uint64, m *tweet.Message) error {
+		if opts.ReplayLimit > 0 && seq > opts.ReplayLimit {
+			return nil // beyond the consistent cut: never acknowledged
+		}
 		eng.Insert(m)
 		replayed++
 		return nil
@@ -102,12 +116,13 @@ func (d *Durable) Engine() *core.Engine { return d.eng }
 // the WAL's append/fsync/size series plus the replay count from the
 // last recovery. Registering the engine's own metrics is the caller's
 // choice (Engine().RegisterMetrics) — the split keeps memory-only and
-// durable deployments symmetrical.
-func (d *Durable) RegisterMetrics(reg *metrics.Registry) {
-	d.wal.RegisterMetrics(reg)
+// durable deployments symmetrical. labels are extra key/value pairs
+// baked into every series (the sharded engine passes ("shard", "i")).
+func (d *Durable) RegisterMetrics(reg *metrics.Registry, labels ...string) {
+	d.wal.RegisterMetrics(reg, labels...)
 	reg.RegisterGaugeFunc("provex_wal_replayed_messages",
 		"Messages recovered from the WAL at the last open (work a crash would have lost without the log).",
-		func() float64 { return float64(d.replayed) })
+		func() float64 { return float64(d.replayed) }, labels...)
 }
 
 // Replayed reports how many messages the WAL contributed at open —
@@ -171,6 +186,11 @@ func (d *Durable) Checkpoint() error {
 		// surface the error but the checkpoint itself stands.
 		return err
 	}
+	// The log is empty: rebase its sequence watermark onto the engine
+	// ordinal. A no-op except after a ReplayLimit-trimmed recovery,
+	// where the WAL scan saw torn-round sequences above the consistent
+	// cut that would otherwise collide with re-issued ones.
+	d.wal.Rebase(d.seq)
 	return nil
 }
 
@@ -179,6 +199,17 @@ func (d *Durable) Checkpoint() error {
 // is safe from any goroutine (replication shippers read it from HTTP
 // handlers).
 func (d *Durable) WALSyncedSeq() uint64 { return d.wal.SyncedSeq() }
+
+// SyncWAL forces an fsync of any records appended since the previous
+// sync, regardless of WALSyncEvery. The sharded commit phase calls it
+// at the end of each round so the round ledger's per-shard watermarks
+// only ever cover records that are actually on stable storage.
+func (d *Durable) SyncWAL() error { return d.wal.Sync() }
+
+// Seq returns the last WAL sequence handed out by Log — the shard
+// round ledger records it as the shard's durable watermark after a
+// round's appends are synced. Writer-goroutine only, like Log.
+func (d *Durable) Seq() uint64 { return d.seq }
 
 // ReadWAL collects durable WAL record payloads with sequence in
 // (after, watermark], resuming from hint when possible. Safe to call

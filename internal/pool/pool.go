@@ -44,6 +44,14 @@ type Config struct {
 	// CheckEvery throttles the pool-status check to every n inserts;
 	// 0 defaults to 1024.
 	CheckEvery int
+
+	// IDStart/IDStride partition the bundle ID space when several pools
+	// coexist (the sharded engine, DESIGN.md §2i): this pool allocates
+	// the arithmetic progression IDStart, IDStart+IDStride, ... so shard
+	// i of N (IDStart=i+1, IDStride=N) can never collide with its
+	// siblings. The zero values mean 1/1 — the serial sequence 1,2,3,...
+	IDStart  bundle.ID
+	IDStride int
 }
 
 // DefaultConfig mirrors the paper's experimental setting: pool limit
@@ -137,13 +145,19 @@ func New(cfg Config, onEvict EvictFunc) *Pool {
 	if cfg.CheckEvery <= 0 {
 		cfg.CheckEvery = 1024
 	}
+	if cfg.IDStart == 0 {
+		cfg.IDStart = 1
+	}
+	if cfg.IDStride <= 0 {
+		cfg.IDStride = 1
+	}
 	if onEvict == nil {
 		onEvict = func(*bundle.Bundle, EvictReason, bool) {}
 	}
 	return &Pool{
 		cfg:     cfg,
 		bundles: make(map[bundle.ID]*bundle.Bundle),
-		nextID:  1,
+		nextID:  cfg.IDStart,
 		onEvict: onEvict,
 	}
 }
@@ -152,9 +166,24 @@ func New(cfg Config, onEvict EvictFunc) *Pool {
 func (p *Pool) Create() *bundle.Bundle {
 	b := bundle.New(p.nextID)
 	p.bundles[p.nextID] = b
-	p.nextID++
+	p.nextID += bundle.ID(p.cfg.IDStride)
 	p.stats.Created++
 	return b
+}
+
+// alignID returns the smallest value >= id that lies on this pool's
+// (IDStart, IDStride) arithmetic progression — the only values the
+// allocator may hand out.
+func (p *Pool) alignID(id bundle.ID) bundle.ID {
+	if id <= p.cfg.IDStart {
+		return p.cfg.IDStart
+	}
+	stride := uint64(p.cfg.IDStride)
+	d := uint64(id - p.cfg.IDStart)
+	if r := d % stride; r != 0 {
+		d += stride - r
+	}
+	return p.cfg.IDStart + bundle.ID(d)
 }
 
 // Get returns the live bundle with id, nil when absent.
@@ -168,8 +197,8 @@ func (p *Pool) Adopt(b *bundle.Bundle) {
 		panic("pool: Adopt of duplicate bundle ID")
 	}
 	p.bundles[b.ID()] = b
-	if b.ID() >= p.nextID {
-		p.nextID = b.ID() + 1
+	if next := p.alignID(b.ID() + 1); next > p.nextID {
+		p.nextID = next
 	}
 }
 
@@ -190,10 +219,11 @@ func (p *Pool) SetInserts(n int) { p.inserts = n }
 func (p *Pool) NextID() bundle.ID { return p.nextID }
 
 // SetNextID raises the ID allocator (checkpoint restore); lower values
-// are ignored so Adopt-derived floors stay safe.
+// are ignored so Adopt-derived floors stay safe, and the value is
+// aligned onto the pool's (IDStart, IDStride) progression.
 func (p *Pool) SetNextID(id bundle.ID) {
-	if id > p.nextID {
-		p.nextID = id
+	if v := p.alignID(id); v > p.nextID {
+		p.nextID = v
 	}
 }
 

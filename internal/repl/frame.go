@@ -14,6 +14,14 @@
 // errors — retried with backoff — rather than mis-applied records; the
 // WAL sequence numbers carried inside the records, not the transport,
 // decide what is applied.
+//
+// Replication is a single-shard feature: it ships one serial WAL, and
+// a sharded leader (internal/shard) writes N independent logs whose
+// consistent cut lives in the round ledger, not in any one log. A
+// sharded deployment would need per-shard shipping plus a
+// follower-side round reducer — future work, see DESIGN.md §2i.
+// provserve refuses -follow with -shards > 1 and sharded leaders
+// expose no /repl/ endpoints.
 package repl
 
 import (

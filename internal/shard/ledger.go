@@ -1,0 +1,181 @@
+// Round ledger: the durable record of completed two-phase rounds. One
+// fixed-layout record is appended and fsynced after each round's WAL
+// appends are synced on every shard; the newest valid record therefore
+// names a globally consistent cut — "the stream prefix up to global
+// sequence G is fully durable, and shard s's share of it ends at local
+// WAL sequence W[s]".
+//
+// Recovery reads the newest record and trims every shard's WAL replay
+// to its watermark (pipeline.DurableOptions.ReplayLimit): records a
+// crashed round managed to sync on SOME shards are discarded, because
+// the round never completed and was never acknowledged. What remains
+// is exactly a stream prefix, which is what lets a feeder resume from
+// "total recovered messages" with no duplicates and no holes.
+//
+// The file is a sequence of [len u32][crc32 u32][payload] frames
+// (little endian, CRC over the payload); the payload is uvarints:
+// global seq, shard count, then one local watermark per shard. A torn
+// tail — the crash hit mid-append — invalidates only the final frame;
+// earlier frames still parse, so the ledger degrades to the previous
+// round's cut, never to garbage. The checkpoint barrier resets the
+// ledger (all state is then covered by the per-shard checkpoints and
+// the manifest).
+
+package shard
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"provex/internal/fsx"
+)
+
+// ledgerCut is one decoded ledger record: the consistent cut after a
+// completed round.
+type ledgerCut struct {
+	global     uint64   // stream position: messages durable across all shards
+	watermarks []uint64 // per-shard local WAL sequence at the cut
+}
+
+// ledger is the writer-side handle. Writer-goroutine only.
+type ledger struct {
+	fs   fsx.FS
+	path string
+	f    fsx.File
+	buf  []byte
+}
+
+// openLedger opens (creating if needed) the ledger for appends and
+// returns the newest valid cut, ok=false when the file is empty or
+// unreadable past frame zero.
+func openLedger(fsys fsx.FS, path string) (*ledger, ledgerCut, bool, error) {
+	l := &ledger{fs: fsys, path: path}
+	cut, ok := ledgerCut{}, false
+	if f, err := fsys.Open(path); err == nil {
+		cut, ok = scanLedger(f)
+		f.Close()
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, ledgerCut{}, false, fmt.Errorf("shard: ledger open: %w", err)
+	}
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, ledgerCut{}, false, fmt.Errorf("shard: ledger open: %w", err)
+	}
+	l.f = f
+	return l, cut, ok, nil
+}
+
+// scanLedger walks the frames and returns the last one that parses.
+// Torn or corrupt tails end the scan without error: the previous frame
+// is still a valid (if older) consistent cut.
+func scanLedger(f fsx.File) (ledgerCut, bool) {
+	cut, ok := ledgerCut{}, false
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			return cut, ok
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		crc := binary.LittleEndian.Uint32(hdr[4:8])
+		if n == 0 || n > 1<<20 {
+			return cut, ok
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return cut, ok
+		}
+		if crc32.ChecksumIEEE(payload) != crc {
+			return cut, ok
+		}
+		c, err := decodeCut(payload)
+		if err != nil {
+			return cut, ok
+		}
+		cut, ok = c, true
+	}
+}
+
+func decodeCut(p []byte) (ledgerCut, error) {
+	var c ledgerCut
+	var n uint64
+	var k int
+	if c.global, k = binary.Uvarint(p); k <= 0 {
+		return c, errors.New("shard: ledger: bad global seq")
+	}
+	p = p[k:]
+	if n, k = binary.Uvarint(p); k <= 0 || n > 1<<16 {
+		return c, errors.New("shard: ledger: bad shard count")
+	}
+	p = p[k:]
+	c.watermarks = make([]uint64, n)
+	for i := range c.watermarks {
+		if c.watermarks[i], k = binary.Uvarint(p); k <= 0 {
+			return c, errors.New("shard: ledger: truncated watermarks")
+		}
+		p = p[k:]
+	}
+	return c, nil
+}
+
+// append writes and fsyncs one cut. On error the round is not
+// acknowledged; a torn frame is tolerated by the next scan.
+func (l *ledger) append(global uint64, watermarks []uint64) error {
+	l.buf = l.buf[:0]
+	l.buf = binary.AppendUvarint(l.buf, global)
+	l.buf = binary.AppendUvarint(l.buf, uint64(len(watermarks)))
+	for _, w := range watermarks {
+		l.buf = binary.AppendUvarint(l.buf, w)
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(l.buf)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(l.buf))
+	if _, err := l.f.Write(hdr[:]); err != nil {
+		return fmt.Errorf("shard: ledger append: %w", err)
+	}
+	if _, err := l.f.Write(l.buf); err != nil {
+		return fmt.Errorf("shard: ledger append: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("shard: ledger sync: %w", err)
+	}
+	return nil
+}
+
+// reset empties the ledger after a checkpoint barrier: everything it
+// recorded is now covered by the per-shard checkpoints + manifest. A
+// crash mid-reset leaves either the old frames (stale — recovery
+// ignores cuts at or below the manifest's global seq) or an empty file;
+// both recover correctly.
+func (l *ledger) reset() error {
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("shard: ledger reset: %w", err)
+	}
+	f, err := l.fs.Create(l.path)
+	if err != nil {
+		return fmt.Errorf("shard: ledger reset: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("shard: ledger reset: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("shard: ledger reset: %w", err)
+	}
+	nf, err := l.fs.OpenFile(l.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("shard: ledger reset: %w", err)
+	}
+	l.f = nf
+	return nil
+}
+
+func (l *ledger) close() error {
+	if l == nil || l.f == nil {
+		return nil
+	}
+	return l.f.Close()
+}

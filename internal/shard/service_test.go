@@ -1,0 +1,127 @@
+package shard
+
+// Service shell: concurrent submit + queries against the sharded
+// engine, durable checkpointing on cadence, and resumability across a
+// stop/reopen cycle.
+
+import (
+	"testing"
+
+	"provex/internal/bundle"
+	"provex/internal/core"
+	"provex/internal/fsx"
+	"provex/internal/query"
+)
+
+func newTestService(t *testing.T, fs fsx.FS, svcOpts ServiceOptions) (*Service, *Durable) {
+	t.Helper()
+	q := query.DefaultOptions()
+	d, err := OpenDurable(core.PartialIndexConfig(500), Options{Shards: 3, Batch: 16, Query: &q}, testDurableOpts(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewService(d.Engine, d, svcOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, d
+}
+
+func TestServiceIngestQueryResume(t *testing.T) {
+	mem := fsx.NewMem()
+	s, d := newTestService(t, mem, ServiceOptions{CheckpointEvery: 1000})
+	s.Start()
+	g := smallGen(3)
+	const n = 4000
+	for i := 0; i < n; i++ {
+		if err := s.Submit(g.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Ingested() != n {
+		t.Fatalf("Ingested = %d, want %d", s.Ingested(), n)
+	}
+	if s.Checkpoints() < 2 {
+		t.Fatalf("Checkpoints = %d, want cadence + final", s.Checkpoints())
+	}
+	st := s.Snapshot()
+	if st.Messages != n || st.BundlesCreated == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// Queries merge across shards under the serial tie order.
+	bundles := s.SearchBundles("the", 10)
+	if len(bundles) > 10 {
+		t.Fatalf("SearchBundles overflowed k: %d", len(bundles))
+	}
+	for i := 1; i < len(bundles); i++ {
+		a, b := bundles[i-1], bundles[i]
+		if a.Score < b.Score || (a.Score == b.Score && a.ID > b.ID) {
+			t.Fatalf("merge order violated at %d: %+v then %+v", i, a, b)
+		}
+	}
+	if top := s.Trending(5); len(top) > 5 {
+		t.Fatalf("Trending overflowed k: %d", len(top))
+	}
+	// Point lookups route by ownership: every live bundle on every
+	// shard must resolve through the service facade.
+	var ids []bundle.ID
+	for i := 0; i < d.Shards(); i++ {
+		d.ShardEngine(i).Pool().All(func(b *bundle.Bundle) {
+			ids = append(ids, b.ID())
+		})
+	}
+	if len(ids) == 0 {
+		t.Fatal("no live bundles to look up")
+	}
+	for _, id := range ids {
+		if _, err := s.Bundle(id); err != nil {
+			t.Fatalf("Bundle(%d): %v", id, err)
+		}
+	}
+	if _, err := s.Trail(ids[0]); err != nil {
+		t.Fatalf("Trail(%d): %v", ids[0], err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the stopped service checkpointed everything, so the
+	// recovered state resumes at the full stream.
+	s2, d2 := newTestService(t, mem, ServiceOptions{})
+	if got := s2.Ingested(); got != n {
+		t.Fatalf("resumed Ingested = %d, want %d", got, n)
+	}
+	if d2.Replayed() != 0 {
+		t.Fatalf("Replayed = %d after clean stop, want 0", d2.Replayed())
+	}
+	if err := d2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServiceRequiresQueryProcessors(t *testing.T) {
+	e, err := New(core.PartialIndexConfig(100), Options{Shards: 2}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewService(e, nil, ServiceOptions{}); err == nil {
+		t.Fatal("NewService accepted an engine without query processors")
+	}
+}
+
+func TestServiceSubmitAfterStop(t *testing.T) {
+	mem := fsx.NewMem()
+	s, d := newTestService(t, mem, ServiceOptions{})
+	s.Start()
+	if err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submit(nil); err != ErrClosed {
+		t.Fatalf("Submit after Stop = %v, want ErrClosed", err)
+	}
+	d.Close()
+}

@@ -103,16 +103,19 @@ type Log struct {
 }
 
 // RegisterMetrics exposes the log's instruments on reg under canonical
-// provex_wal_* names (documented in OBSERVABILITY.md).
-func (l *Log) RegisterMetrics(reg *metrics.Registry) {
+// provex_wal_* names (documented in OBSERVABILITY.md). labels are extra
+// key/value pairs baked into every series — the sharded engine passes
+// ("shard", "i") so each shard's WAL exports its own size gauge and
+// latency series in the shared registry.
+func (l *Log) RegisterMetrics(reg *metrics.Registry, labels ...string) {
 	reg.RegisterTimer("provex_wal_append_seconds",
-		"Cumulative time writing WAL records (excludes fsync).", &l.appendTimer)
+		"Cumulative time writing WAL records (excludes fsync).", &l.appendTimer, labels...)
 	reg.RegisterHistogram("provex_wal_fsync_seconds",
-		"Latency of WAL fsync batches (one fsync covers SyncEvery appends).", l.syncHist, 1e9)
+		"Latency of WAL fsync batches (one fsync covers SyncEvery appends).", l.syncHist, 1e9, labels...)
 	reg.RegisterCounter("provex_wal_truncations_total",
-		"WAL truncations after a covering checkpoint.", &l.truncations)
+		"WAL truncations after a covering checkpoint.", &l.truncations, labels...)
 	reg.RegisterGaugeFunc("provex_wal_size_bytes",
-		"Byte length of the active WAL file.", func() float64 { return float64(l.Size()) })
+		"Byte length of the active WAL file.", func() float64 { return float64(l.Size()) }, labels...)
 }
 
 // fsyncBounds bucket WAL fsync-batch latency from 50µs (page cache
@@ -487,6 +490,20 @@ func (l *Log) Sync() error {
 
 // LastSeq returns the highest sequence number appended or recovered.
 func (l *Log) LastSeq() uint64 { return l.lastSeq }
+
+// Rebase resets the sequence watermarks to seq. Only valid while the
+// log holds no records — immediately after Truncate — where the
+// append-monotonicity guard has no content left to protect. The
+// durability layer uses it when a checkpoint follows a recovery whose
+// replay was trimmed below the log's scanned tail (the sharded round
+// ledger, DESIGN.md §2i): the scan saw torn-round sequences above the
+// consistent cut, and without the rebase every re-issued sequence
+// would collide with them. Rebasing to the same value is a no-op, which
+// is what every untrimmed checkpoint does.
+func (l *Log) Rebase(seq uint64) {
+	l.lastSeq = seq
+	l.synced.Store(seq)
+}
 
 // Size returns the byte length of the active log file. Unlike the rest
 // of the Log it is safe to call from any goroutine (metrics scrapes

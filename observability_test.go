@@ -21,6 +21,7 @@ import (
 	"provex/internal/query"
 	"provex/internal/repl"
 	"provex/internal/server"
+	"provex/internal/shard"
 	"provex/internal/trace"
 )
 
@@ -65,6 +66,37 @@ func fullRegistry(t *testing.T) *metrics.Registry {
 	return reg
 }
 
+// shardRegistry mirrors provserve's sharded durable mode on its own
+// registry: the shard Service reuses the provex_pipeline_* family
+// names and each shard engine re-registers the serial families under a
+// shard label, so the sharded stack must live apart from fullRegistry
+// (one deployment runs one shell).
+func shardRegistry(t *testing.T) *metrics.Registry {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	q := query.DefaultOptions()
+	dur, err := shard.OpenDurable(core.FullIndexConfig(),
+		shard.Options{Shards: 2, Query: &q},
+		shard.DurableOptions{
+			FS:           fsx.NewMem(),
+			Dir:          "shards",
+			ManifestPath: "manifest.json",
+			WALSyncEvery: 8,
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { dur.Close() })
+	dur.Engine.RegisterMetrics(reg)
+	dur.RegisterMetrics(reg)
+	svc, err := shard.NewService(dur.Engine, dur, shard.ServiceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.RegisterMetrics(reg)
+	return reg
+}
+
 // familyNames extracts every family declared by a `# TYPE name kind`
 // line of a rendered exposition.
 func familyNames(t *testing.T, exposition string) []string {
@@ -86,18 +118,34 @@ func familyNames(t *testing.T, exposition string) []string {
 	return names
 }
 
-func TestObservabilityDocCoversEveryMetric(t *testing.T) {
-	reg := fullRegistry(t)
-	var b strings.Builder
-	if err := reg.Expose(&b); err != nil {
-		t.Fatal(err)
+// allFamilyNames unions the family names of every deployment shell:
+// the serial full wiring plus the sharded stack.
+func allFamilyNames(t *testing.T) []string {
+	t.Helper()
+	seen := make(map[string]bool)
+	var names []string
+	for _, reg := range []*metrics.Registry{fullRegistry(t), shardRegistry(t)} {
+		var b strings.Builder
+		if err := reg.Expose(&b); err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range familyNames(t, b.String()) {
+			if !seen[name] {
+				seen[name] = true
+				names = append(names, name)
+			}
+		}
 	}
+	return names
+}
+
+func TestObservabilityDocCoversEveryMetric(t *testing.T) {
 	doc, err := os.ReadFile("OBSERVABILITY.md")
 	if err != nil {
 		t.Fatal(err)
 	}
 	text := string(doc)
-	names := familyNames(t, b.String())
+	names := allFamilyNames(t)
 	if len(names) < 20 {
 		t.Errorf("only %d metric families exported — did registration get unplugged?", len(names))
 	}
@@ -112,13 +160,8 @@ func TestObservabilityDocCoversEveryMetric(t *testing.T) {
 // provex_-prefixed name the runbook mentions must actually be exported,
 // catching renames that orphan documentation.
 func TestObservabilityDocNamesExist(t *testing.T) {
-	reg := fullRegistry(t)
-	var b strings.Builder
-	if err := reg.Expose(&b); err != nil {
-		t.Fatal(err)
-	}
 	exported := make(map[string]bool)
-	for _, name := range familyNames(t, b.String()) {
+	for _, name := range allFamilyNames(t) {
 		exported[name] = true
 	}
 	doc, err := os.ReadFile("OBSERVABILITY.md")
