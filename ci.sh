@@ -12,9 +12,12 @@ echo "== go vet =="
 go vet ./...
 
 # provlint: the repo's own vettool (cmd/provlint) re-runs vet with the
-# four invariant analyzers — fsxdiscipline, durabilityerr, metricsreg,
-# hotpathalloc. A finding here is a positioned diagnostic and fails the
-# gate; deliberate exceptions carry //provlint:ignore with a reason.
+# eight invariant analyzers — fsxdiscipline, durabilityerr, metricsreg,
+# hotpathalloc (DESIGN.md §2f) plus the concurrency four: lockguard,
+# wgbalance, atomicmix, sendafterclose (§2j). The ./... sweep includes
+# internal/analysis itself, so provlint self-lints. A finding here is a
+# positioned diagnostic and fails the gate; deliberate exceptions carry
+# //provlint:ignore with a reason.
 echo "== provlint (go vet -vettool) =="
 lint_tmp="$(mktemp -d)"
 trap 'rm -rf "$lint_tmp"' EXIT
@@ -29,6 +32,7 @@ go test ./internal/wal -fuzz FuzzOpenReplay -fuzztime 10s -run '^$'
 go test ./internal/tokenizer -fuzz FuzzTokenizeKeywords -fuzztime 10s -run '^$'
 go test ./internal/promtext -fuzz FuzzParse -fuzztime 10s -run '^$'
 go test ./internal/repl -fuzz FuzzFrameDecoder -fuzztime 10s -run '^$'
+go test ./internal/analysis/analyzers -fuzz FuzzParseGuardedBy -fuzztime 10s -run '^$'
 
 # govulncheck is best-effort: it needs the tool and a vulndb, neither
 # of which an offline builder has.

@@ -201,7 +201,7 @@ func loadQueries(path string) ([]string, error) {
 // requests target bundles that actually exist.
 type idPool struct {
 	mu  sync.Mutex
-	ids []uint64
+	ids []uint64 // guarded by mu
 }
 
 func (p *idPool) add(ids []uint64) {

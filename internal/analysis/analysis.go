@@ -63,6 +63,12 @@ type Diagnostic struct {
 	AnalyzerName string
 	Pos          token.Pos
 	Message      string
+
+	// Suppressed marks a finding silenced by a //provlint:ignore
+	// directive. RunAnalyzers drops suppressed findings; RunAnalyzersAll
+	// keeps them with this flag set so machine-readable output (the
+	// -json mode) can show what the directives hide.
+	Suppressed bool
 }
 
 // Report records one finding.
@@ -96,6 +102,24 @@ func (p *Pass) InTestFile(pos token.Pos) bool {
 // analysistest harness, so suppression semantics cannot drift between
 // CI and the analyzer tests.
 func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	all, err := RunAnalyzersAll(fset, files, pkg, info, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	kept := all[:0]
+	for _, d := range all {
+		if !d.Suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept, nil
+}
+
+// RunAnalyzersAll is RunAnalyzers without the suppression filter:
+// findings silenced by //provlint:ignore directives are returned too,
+// marked Suppressed, in the same position-sorted order. The -json mode
+// uses it so tooling can audit what the directives hide.
+func RunAnalyzersAll(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -111,15 +135,12 @@ func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, in
 		}
 	}
 	sup := ScanSuppressions(fset, files)
-	kept := diags[:0]
-	for _, d := range diags {
-		if !sup.Suppressed(d.AnalyzerName, fset.Position(d.Pos)) {
-			kept = append(kept, d)
-		}
+	for i := range diags {
+		diags[i].Suppressed = sup.Suppressed(diags[i].AnalyzerName, fset.Position(diags[i].Pos))
 	}
-	kept = append(kept, sup.Malformed...)
-	sort.Slice(kept, func(i, j int) bool {
-		pi, pj := fset.Position(kept[i].Pos), fset.Position(kept[j].Pos)
+	diags = append(diags, sup.Malformed...)
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
 		if pi.Filename != pj.Filename {
 			return pi.Filename < pj.Filename
 		}
@@ -129,9 +150,9 @@ func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, in
 		if pi.Column != pj.Column {
 			return pi.Column < pj.Column
 		}
-		return kept[i].Message < kept[j].Message
+		return diags[i].Message < diags[j].Message
 	})
-	return kept, nil
+	return diags, nil
 }
 
 // TypesSizes returns the standard gc sizes model used when

@@ -14,7 +14,8 @@ func TestFsxDiscipline(t *testing.T) {
 }
 
 func TestDurabilityErr(t *testing.T) {
-	analysistest.Run(t, DurabilityErr, "durabilityerr")
+	analysistest.Run(t, DurabilityErr, "durabilityerr",
+		"provex/internal/shard", "provex/internal/repl")
 }
 
 func TestMetricsReg(t *testing.T) {
@@ -25,11 +26,97 @@ func TestHotPathAlloc(t *testing.T) {
 	analysistest.Run(t, HotPathAlloc, "hotpathalloc")
 }
 
+func TestLockGuard(t *testing.T) {
+	analysistest.Run(t, LockGuard, "lockguard")
+}
+
+func TestWgBalance(t *testing.T) {
+	analysistest.Run(t, WgBalance, "wgbalance")
+}
+
+func TestAtomicMix(t *testing.T) {
+	analysistest.Run(t, AtomicMix, "atomicmix")
+}
+
+func TestSendAfterClose(t *testing.T) {
+	analysistest.Run(t, SendAfterClose, "sendafterclose")
+}
+
 // TestSuppression runs fsxdiscipline over a fixture where some
 // violations carry //provlint:ignore directives: suppressed lines must
 // stay silent, mismatched or out-of-range directives must not.
 func TestSuppression(t *testing.T) {
 	analysistest.Run(t, FsxDiscipline, "suppress")
+}
+
+// TestSuppressionConcurrency proves the ignore scanner composes with
+// the concurrency analyzers: directives naming lockguard/atomicmix
+// silence exactly the lines they cover, and mismatched analyzer names
+// or out-of-range directives leave the finding live.
+func TestSuppressionConcurrency(t *testing.T) {
+	analysistest.Run(t, LockGuard, "suppresslock")
+	analysistest.Run(t, AtomicMix, "suppressatomic")
+}
+
+// TestParseGuardedBy pins the annotation grammar the lockguard
+// analyzer and CONTRIBUTING.md both promise.
+func TestParseGuardedBy(t *testing.T) {
+	cases := []struct {
+		text string
+		name string
+		ok   bool
+	}{
+		{"// guarded by mu", "mu", true},
+		{"// guarded by mu.", "mu", true},
+		{"// hit count; guarded by statsMu, see DESIGN.md", "statsMu", true},
+		{"// guarded by RWMutex", "RWMutex", true},
+		{"// guarded by s.mu", "", false}, // dotted paths are not sibling names
+		{"// guarded by", "", false},
+		{"// guarded by 2fast", "", false},
+		{"// plain prose with no marker", "", false},
+		{"// guard by mu (typo: not the marker)", "", false},
+	}
+	for _, c := range cases {
+		name, ok := parseGuardedBy(c.text)
+		if ok != c.ok || name != c.name {
+			t.Errorf("parseGuardedBy(%q) = (%q, %v), want (%q, %v)", c.text, name, ok, c.name, c.ok)
+		}
+	}
+}
+
+// FuzzParseGuardedBy holds the annotation parser to its contract on
+// arbitrary comment text: never panic, and any accepted name is a
+// plain non-empty Go identifier that round-trips through a canonical
+// annotation.
+func FuzzParseGuardedBy(f *testing.F) {
+	f.Add("// guarded by mu")
+	f.Add("// guarded by ")
+	f.Add("//guarded by\tmu.")
+	f.Add("// totals; guarded by statsMu, repo convention")
+	f.Add("/* guarded by rw */")
+	f.Fuzz(func(t *testing.T, text string) {
+		name, ok := parseGuardedBy(text)
+		if !ok {
+			if name != "" {
+				t.Fatalf("rejected input returned non-empty name %q", name)
+			}
+			return
+		}
+		if name == "" {
+			t.Fatal("accepted annotation with empty mutex name")
+		}
+		for i := 0; i < len(name); i++ {
+			c := name[i]
+			ident := c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || (i > 0 && c >= '0' && c <= '9')
+			if !ident {
+				t.Fatalf("accepted name %q contains non-identifier byte %q", name, c)
+			}
+		}
+		again, ok2 := parseGuardedBy("// guarded by " + name)
+		if !ok2 || again != name {
+			t.Fatalf("canonical annotation for %q did not round-trip: (%q, %v)", name, again, ok2)
+		}
+	})
 }
 
 // TestEveryAnalyzerHasFixture is the meta-test: each analyzer wired

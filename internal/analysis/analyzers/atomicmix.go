@@ -1,0 +1,174 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"provex/internal/analysis"
+)
+
+// AtomicMix flags struct fields that are accessed through sync/atomic
+// in one place and through plain loads or stores in another. Mixing
+// the two silently downgrades every access to a data race: the plain
+// side tears under concurrent atomic writes, and the compiler is free
+// to cache the plain load across the atomic store. The safe states
+// are all-atomic (or better, the typed atomic.Int64 family, which
+// makes plain access a compile error) or all-guarded. Freshly
+// constructed values and _test.go files are exempt;
+// //provlint:ignore atomicmix covers paths proven single-goroutine.
+var AtomicMix = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc: `field accessed both via sync/atomic and via plain load/store
+
+A field passed to atomic.Add/Load/Store/Swap/CompareAndSwap in one
+function and read or written plainly in another races: the plain
+access is invisible to the atomic protocol. Either every access goes
+through sync/atomic (prefer the typed atomic.Int64 family, which the
+compiler enforces) or the field moves under a mutex. Constructor-time
+initialization of freshly built values and _test.go files are exempt.`,
+	Run: runAtomicMix,
+}
+
+// atomicFnPrefixes are the sync/atomic package-level function families
+// whose first argument is the address of the operated-on word.
+var atomicFnPrefixes = []string{"Add", "Load", "Store", "Swap", "CompareAndSwap"}
+
+// atomicTarget resolves the struct field a sync/atomic call operates
+// on (the &x.f first argument), or nil.
+func atomicTarget(info *types.Info, call *ast.CallExpr) *types.Var {
+	fn := callee(info, call)
+	if fn == nil || !pkgPathMatches(funcPkgPath(fn), "sync/atomic") {
+		return nil
+	}
+	if _, recvType := recvTypeName(fn); recvType != "" {
+		// Typed atomics (atomic.Int64 etc.) cannot be mixed; nothing
+		// to track.
+		return nil
+	}
+	matched := false
+	for _, p := range atomicFnPrefixes {
+		if strings.HasPrefix(fn.Name(), p) {
+			matched = true
+			break
+		}
+	}
+	if !matched || len(call.Args) == 0 {
+		return nil
+	}
+	ue, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+	if !ok || ue.Op != token.AND {
+		return nil
+	}
+	sel, ok := ast.Unparen(ue.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s, ok := info.Selections[sel]
+	if !ok {
+		return nil
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}
+
+func runAtomicMix(pass *analysis.Pass) error {
+	// Pass 1: every field that is the target of a sync/atomic call,
+	// with one example position for the diagnostic.
+	atomicFields := make(map[*types.Var]token.Pos)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if v := atomicTarget(pass.TypesInfo, call); v != nil {
+				if _, seen := atomicFields[v]; !seen {
+					atomicFields[v] = call.Pos()
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+	// Pass 2: plain accesses to those fields. A selector is "plain"
+	// unless it sits under the & of a sync/atomic call.
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fresh := freshLocals(pass.TypesInfo, fd.Body)
+			checkPlainAccesses(pass, fd, atomicFields, fresh)
+		}
+	}
+	return nil
+}
+
+func checkPlainAccesses(pass *analysis.Pass, fd *ast.FuncDecl, atomicFields map[*types.Var]token.Pos, fresh map[types.Object]bool) {
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		defer func() { stack = append(stack, n) }()
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s, ok := pass.TypesInfo.Selections[sel]
+		if !ok {
+			return true
+		}
+		v, ok := s.Obj().(*types.Var)
+		if !ok {
+			return true
+		}
+		atomicPos, tracked := atomicFields[v]
+		if !tracked {
+			return true
+		}
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil && fresh[obj] {
+				return true
+			}
+		}
+		if underAtomicCall(pass.TypesInfo, stack) {
+			return true
+		}
+		pass.Reportf(sel.Pos(), "plain access of %s, which is accessed via sync/atomic at %s; mixed plain/atomic access is a data race", v.Name(), pass.Position(atomicPos))
+		return true
+	})
+}
+
+// underAtomicCall reports whether the innermost enclosing expression
+// chain is `&x.f` inside a sync/atomic call's argument list.
+func underAtomicCall(info *types.Info, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.UnaryExpr:
+			if n.Op != token.AND {
+				return false
+			}
+			continue
+		case *ast.CallExpr:
+			return atomicTarget(info, n) != nil
+		default:
+			return false
+		}
+	}
+	return false
+}

@@ -29,6 +29,12 @@ var durabilityCritical = []critCall{
 	{"internal/core", "Engine", "WriteCheckpoint", "a failed checkpoint write must abort the checkpoint, not seal garbage"},
 	{"internal/core", "Engine", "SaveCheckpoint", "a failed checkpoint write must abort the checkpoint, not seal garbage"},
 	{"internal/pipeline", "Durable", "Checkpoint", "an unchecked checkpoint failure leaves recovery pinned to the previous checkpoint"},
+	{"internal/shard", "ledger", "append", "a dropped ledger append loses the barrier cut; recovery replays from a stale coordinate"},
+	{"internal/shard", "ledger", "reset", "an unchecked ledger reset can leave a stale cut that recovery trusts over newer shard state"},
+	{"internal/shard", "", "writeManifest", "an unchecked manifest write breaks the atomic commit point of the sharded checkpoint"},
+	{"internal/shard", "", "wipeDir", "an unchecked wipe can leave stale shard files that the next recovery resurrects"},
+	{"internal/repl", "Replica", "downloadTo", "an unchecked checkpoint download can install a torn snapshot as the replica's base state"},
+	{"internal/repl", "Replica", "resync", "an unchecked resync failure leaves the replica serving stale state while reporting progress"},
 	{"internal/fsx", "File", "Write", "an unchecked write can tear the file image"},
 	{"internal/fsx", "File", "WriteAt", "an unchecked write can tear the file image"},
 	{"internal/fsx", "File", "Sync", "an unchecked fsync is the canonical lost-durability bug"},

@@ -1,0 +1,58 @@
+// The `// guarded by <mutex>` annotation: a struct field carrying this
+// marker (trailing comment or doc comment) declares that every access
+// outside the owning goroutine must hold the named sibling mutex. The
+// lockguard analyzer enforces it; this file owns the parser so the
+// fuzz target (FuzzParseGuardedBy) and the analyzer share one
+// implementation.
+
+package analyzers
+
+import "strings"
+
+// guardedByMarker introduces the annotation inside a field comment.
+const guardedByMarker = "guarded by "
+
+// parseGuardedBy extracts the mutex field name from one comment's
+// text ("// guarded by mu", "// hit count; guarded by mu."). The name
+// is the first token after the marker, with trailing punctuation
+// stripped; it must be a plain Go identifier (the annotation names a
+// sibling field, never a dotted path). Returns ok=false when the
+// comment carries no well-formed annotation.
+func parseGuardedBy(text string) (name string, ok bool) {
+	i := strings.Index(text, guardedByMarker)
+	if i < 0 {
+		return "", false
+	}
+	rest := text[i+len(guardedByMarker):]
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", false
+	}
+	name = strings.TrimRight(fields[0], ".,;:)")
+	if !isGoIdent(name) {
+		return "", false
+	}
+	return name, true
+}
+
+// isGoIdent reports whether s is a plain (ASCII) Go identifier. The
+// annotation vocabulary is repo-local, so the ASCII restriction is a
+// feature: it rejects prose that happens to follow the marker.
+func isGoIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '_', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

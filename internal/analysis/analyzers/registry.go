@@ -6,12 +6,20 @@ package analyzers
 
 import "provex/internal/analysis"
 
-// All returns every provlint analyzer, in stable order.
+// All returns every provlint analyzer, in stable order. The first
+// four date from PR 5 (filesystem, durability, metrics and allocation
+// contracts); the concurrency four extend the same machinery to the
+// lock discipline, goroutine lifecycles and atomics the sharded
+// engine and the replication layer rest on.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		FsxDiscipline,
 		DurabilityErr,
 		MetricsReg,
 		HotPathAlloc,
+		LockGuard,
+		WgBalance,
+		AtomicMix,
+		SendAfterClose,
 	}
 }

@@ -1,0 +1,47 @@
+// Package fixture exercises the atomicmix analyzer: fields touched
+// via sync/atomic in one place and plainly in another are flagged at
+// the plain access; all-atomic fields, never-atomic fields, typed
+// atomics, and constructor-time initialization are not.
+package fixture
+
+import "sync/atomic"
+
+type stats struct {
+	hits  int64
+	total int64
+	clean int64
+	typed atomic.Int64
+}
+
+func (s *stats) inc() {
+	atomic.AddInt64(&s.hits, 1)
+	atomic.AddInt64(&s.total, 1)
+}
+
+func (s *stats) plainRead() int64 {
+	return s.hits // want `plain access of hits`
+}
+
+func (s *stats) plainWrite() {
+	s.total = 0 // want `plain access of total`
+}
+
+func (s *stats) atomicRead() int64 {
+	return atomic.LoadInt64(&s.hits)
+}
+
+func (s *stats) plainOnly() int64 {
+	s.clean++
+	return s.clean
+}
+
+func (s *stats) typedIsFine() int64 {
+	s.typed.Add(1)
+	return s.typed.Load()
+}
+
+func newStats() *stats {
+	s := &stats{}
+	s.hits = 0 // freshly constructed: publication not yet possible
+	return s
+}

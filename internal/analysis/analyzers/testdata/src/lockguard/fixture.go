@@ -1,0 +1,122 @@
+// Package fixture exercises the lockguard analyzer: accesses to
+// `// guarded by` fields outside the named mutex are flagged; locked
+// sections, deferred unlocks, RLock reads, *Locked helpers, freshly
+// constructed values, and self-locking closures are not.
+package fixture
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+
+	rw   sync.RWMutex
+	view map[string]int // guarded by rw
+
+	free int // unannotated: never checked
+
+	// guarded by missing
+	bogus int // want `no sibling sync\.Mutex or sync\.RWMutex field named "missing"`
+}
+
+func (c *counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) DeferStyle() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	return c.n
+}
+
+func (c *counter) BadRead() int {
+	return c.n // want `read of c\.n without c\.mu held`
+}
+
+func (c *counter) BadWrite() {
+	c.n = 7 // want `write to c\.n without c\.mu held`
+}
+
+func (c *counter) BadAddr() *int {
+	return &c.n // want `write to c\.n without c\.mu held`
+}
+
+func (c *counter) ReadUnderRLock(k string) int {
+	c.rw.RLock()
+	defer c.rw.RUnlock()
+	return c.view[k]
+}
+
+func (c *counter) WriteUnderRLock(k string) {
+	c.rw.RLock()
+	c.view[k] = 1 // want `write to c\.view under RLock of c\.rw`
+	c.rw.RUnlock()
+}
+
+func (c *counter) WriteUnderLock(k string) {
+	c.rw.Lock()
+	c.view[k] = 1
+	c.rw.Unlock()
+}
+
+func (c *counter) earlyReturn(stop bool) {
+	c.mu.Lock()
+	if stop {
+		c.mu.Unlock()
+		return
+	}
+	c.n++ // the unlocking branch returned; still held here
+	c.mu.Unlock()
+}
+
+func (c *counter) afterUnlock() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	c.n++ // want `write to c\.n without c\.mu held`
+}
+
+// resetLocked runs with c.mu already held by the caller (repo naming
+// convention), so lockguard skips it.
+func (c *counter) resetLocked() { c.n = 0 }
+
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 1 // freshly constructed: not yet shared
+	c.view = map[string]int{}
+	return c
+}
+
+func (c *counter) Spawn() {
+	go func() {
+		c.n++ // want `write to c\.n without c\.mu held`
+	}()
+	go func() {
+		c.mu.Lock()
+		c.n++ // the goroutine takes the lock itself
+		c.mu.Unlock()
+	}()
+}
+
+func (c *counter) FreeAccess() int {
+	c.free++ // unannotated fields are out of scope
+	return c.free
+}
+
+type embedded struct {
+	sync.RWMutex
+	m map[string]bool // guarded by RWMutex
+}
+
+func (e *embedded) Get(k string) bool {
+	e.RLock()
+	defer e.RUnlock()
+	return e.m[k]
+}
+
+func (e *embedded) BadGet(k string) bool {
+	return e.m[k] // want `read of e\.m without e\.RWMutex held`
+}

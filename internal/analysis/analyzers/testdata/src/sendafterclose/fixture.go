@@ -1,0 +1,94 @@
+// Package fixture exercises the sendafterclose analyzer: sends and
+// closes lexically after a close of the same channel, and go-launched
+// closures looping forever with no way out.
+package fixture
+
+func sendAfter() {
+	ch := make(chan int, 1)
+	ch <- 1
+	close(ch)
+	ch <- 2 // want `send on ch after close`
+}
+
+func doubleClose() {
+	ch := make(chan int)
+	close(ch)
+	close(ch) // want `close of ch after it was already closed`
+}
+
+func branchedClose(done bool) {
+	ch := make(chan int, 1)
+	if done {
+		close(ch)
+	}
+	ch <- 1 // the close above is conditional: not flagged
+}
+
+func closeThenBranchSend(x bool) {
+	ch := make(chan int, 1)
+	close(ch)
+	if x {
+		ch <- 1 // want `send on ch after close`
+	}
+}
+
+func fieldChannel(c *carrier) {
+	close(c.ch)
+	c.ch <- 1 // want `send on c\.ch after close`
+}
+
+type carrier struct {
+	ch chan int
+}
+
+func leakyLoop() {
+	go func() {
+		for { // want `goroutine loops forever with no termination signal`
+			tick()
+		}
+	}()
+}
+
+func stoppable(stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				tick()
+			}
+		}
+	}()
+}
+
+func receiver(ch chan int) {
+	go func() {
+		for {
+			v, ok := <-ch
+			if !ok {
+				return
+			}
+			use(v)
+		}
+	}()
+}
+
+func drainer(ch chan int) {
+	go func() {
+		for range ch {
+			tick()
+		}
+	}()
+}
+
+func bounded(n int) {
+	go func() {
+		for i := 0; i < n; i++ {
+			tick()
+		}
+	}()
+}
+
+func tick()     {}
+func use(v int) {}

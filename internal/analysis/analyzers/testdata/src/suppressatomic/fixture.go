@@ -1,0 +1,22 @@
+// Package fixture proves //provlint:ignore directives silence
+// atomicmix findings in place, with unsuppressed lines still flagged.
+package fixture
+
+import "sync/atomic"
+
+type meter struct {
+	n int64
+}
+
+func (m *meter) bump() {
+	atomic.AddInt64(&m.n, 1)
+}
+
+func (m *meter) blessed() int64 {
+	//provlint:ignore atomicmix startup-only read before any goroutine exists
+	return m.n
+}
+
+func (m *meter) stillFlagged() int64 {
+	return m.n // want `plain access of n`
+}

@@ -1,0 +1,25 @@
+// Package atomic is a hermetic stub of sync/atomic for the analyzer
+// fixtures: the package-level address-taking functions atomicmix
+// tracks, plus one typed atomic to prove the typed family is exempt.
+package atomic
+
+func AddInt64(addr *int64, delta int64) int64     { *addr += delta; return *addr }
+func LoadInt64(addr *int64) int64                 { return *addr }
+func StoreInt64(addr *int64, val int64)           { *addr = val }
+func SwapInt64(addr *int64, new int64) int64      { old := *addr; *addr = new; return old }
+func AddUint64(addr *uint64, delta uint64) uint64 { *addr += delta; return *addr }
+func LoadUint64(addr *uint64) uint64              { return *addr }
+func StoreUint64(addr *uint64, val uint64)        { *addr = val }
+func CompareAndSwapInt64(addr *int64, old, new int64) bool {
+	if *addr == old {
+		*addr = new
+		return true
+	}
+	return false
+}
+
+type Int64 struct{ v int64 }
+
+func (x *Int64) Load() int64           { return x.v }
+func (x *Int64) Store(val int64)       { x.v = val }
+func (x *Int64) Add(delta int64) int64 { x.v += delta; return x.v }

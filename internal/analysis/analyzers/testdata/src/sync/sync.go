@@ -1,0 +1,27 @@
+// Package sync is a hermetic stub of the standard library's sync
+// package: just the method surface the concurrency analyzers match
+// on, so fixtures type-check without touching GOROOT.
+package sync
+
+type Mutex struct{ state int32 }
+
+func (m *Mutex) Lock()         {}
+func (m *Mutex) Unlock()       {}
+func (m *Mutex) TryLock() bool { return true }
+
+type RWMutex struct{ state int32 }
+
+func (m *RWMutex) Lock()    {}
+func (m *RWMutex) Unlock()  {}
+func (m *RWMutex) RLock()   {}
+func (m *RWMutex) RUnlock() {}
+
+type WaitGroup struct{ n int32 }
+
+func (wg *WaitGroup) Add(delta int) {}
+func (wg *WaitGroup) Done()         {}
+func (wg *WaitGroup) Wait()         {}
+
+type Once struct{ done uint32 }
+
+func (o *Once) Do(f func()) { f() }

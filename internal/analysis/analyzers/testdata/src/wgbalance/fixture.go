@@ -1,0 +1,104 @@
+// Package fixture exercises the wgbalance analyzer: Add inside the
+// counted goroutine, spawned goroutines that cannot reach Done,
+// non-deferred Done, and Wait under a lock the workers need.
+package fixture
+
+import "sync"
+
+func addInsideGoroutine(wg *sync.WaitGroup) {
+	go func() {
+		wg.Add(1) // want `wg\.Add inside the goroutine it counts`
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+func missingDone(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() { // want `goroutine counted by wg\.Add never calls wg\.Done`
+		work()
+	}()
+	wg.Wait()
+}
+
+func notDeferred(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		work()
+		wg.Done() // want `wg\.Done in a spawned goroutine is not deferred`
+	}()
+	wg.Wait()
+}
+
+func balanced(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// handsOff passes the WaitGroup on: a helper may call Done, so the
+// spawned closure is not flagged.
+func handsOff(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		helper(wg)
+	}()
+	wg.Wait()
+}
+
+type pool struct {
+	wg sync.WaitGroup
+	mu sync.Mutex
+}
+
+func (p *pool) fieldBalanced() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		work()
+	}()
+	p.wg.Wait()
+}
+
+func (p *pool) fieldMissingDone() {
+	p.wg.Add(1)
+	go func() { // want `goroutine counted by p\.wg\.Add never calls p\.wg\.Done`
+		work()
+	}()
+	p.wg.Wait()
+}
+
+func waitUnderLock(mu *sync.Mutex, wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		mu.Lock()
+		work()
+		mu.Unlock()
+	}()
+	mu.Lock()
+	wg.Wait() // want `wg\.Wait while holding mu`
+	mu.Unlock()
+}
+
+func waitAfterUnlock(mu *sync.Mutex, wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		mu.Lock()
+		work()
+		mu.Unlock()
+	}()
+	mu.Lock()
+	work()
+	mu.Unlock()
+	wg.Wait()
+}
+
+func work() {}
+
+func helper(wg *sync.WaitGroup) { wg.Done() }

@@ -2,6 +2,7 @@ package analyzers
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -80,6 +81,168 @@ func isNamedType(t types.Type, pkg, name string) bool {
 		return false
 	}
 	return n.Obj().Name() == name && pkgPathMatches(n.Obj().Pkg().Path(), pkg)
+}
+
+// exprKey renders a lexical identity for an expression so lock
+// acquisitions and field accesses on the same base compare equal:
+// idents and selector chains become dotted paths ("s.mu"), pointer
+// derefs are transparent, and index expressions collapse the index
+// ("s.shards[]") so any element of a container shares one key. The
+// empty string means the expression has no stable lexical identity
+// (call results, literals) and cannot be tied to a lock.
+func exprKey(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := exprKey(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return exprKey(e.X)
+	case *ast.IndexExpr:
+		base := exprKey(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "[]"
+	}
+	return ""
+}
+
+// freshLocals collects local variables bound to values constructed
+// inside body itself (x := &T{...}, x := T{...}, x := new(T), var x T):
+// until such a value escapes, no other goroutine can reach it, so the
+// concurrency analyzers exempt accesses through these bases. The set is
+// flow-insensitive — a local that is ever fresh is treated as fresh
+// for the whole function — which trades a sliver of soundness for
+// constructor-shaped code not needing annotations.
+func freshLocals(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	fresh := make(map[types.Object]bool)
+	mark := func(lhs, rhs ast.Expr) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			return
+		}
+		if rhs == nil || isFreshExpr(rhs) {
+			fresh[obj] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE || len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i := range n.Lhs {
+				mark(n.Lhs[i], n.Rhs[i])
+			}
+		case *ast.ValueSpec:
+			if len(n.Values) == 0 {
+				for _, id := range n.Names {
+					mark(id, nil)
+				}
+			} else if len(n.Values) == len(n.Names) {
+				for i := range n.Names {
+					mark(n.Names[i], n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// isFreshExpr reports whether e constructs a brand-new value: a
+// composite literal, its address, or new(T).
+func isFreshExpr(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			_, ok := ast.Unparen(e.X).(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "new" {
+			return true
+		}
+	}
+	return false
+}
+
+// syncMethodCall classifies call as a method call on sync.<typeName>
+// with a name in ops, returning the lexical key of the receiver value.
+// A call through an embedded mutex/waitgroup ("t.Lock()") keys on the
+// promoted field ("t.Mutex"), matching how a `// guarded by Mutex`
+// annotation names it.
+func syncMethodCall(info *types.Info, call *ast.CallExpr, typeNames []string, ops []string) (key, typeName, op string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", "", ""
+	}
+	opOK := false
+	for _, o := range ops {
+		if sel.Sel.Name == o {
+			opOK = true
+			break
+		}
+	}
+	if !opOK {
+		return "", "", ""
+	}
+	fn := callee(info, call)
+	if fn == nil {
+		return "", "", ""
+	}
+	recvPkg, recvType := recvTypeName(fn)
+	if !pkgPathMatches(recvPkg, "sync") {
+		return "", "", ""
+	}
+	typeOK := false
+	for _, tn := range typeNames {
+		if recvType == tn {
+			typeOK = true
+			break
+		}
+	}
+	if !typeOK {
+		return "", "", ""
+	}
+	base := exprKey(sel.X)
+	if base == "" {
+		return "", "", ""
+	}
+	if xt := info.TypeOf(sel.X); xt != nil && !isNamedType(xt, "sync", recvType) {
+		// Promoted method through an embedded field.
+		base += "." + recvType
+	}
+	return base, recvType, sel.Sel.Name
+}
+
+// lockOp classifies call as a sync.Mutex/RWMutex operation
+// (Lock/Unlock/RLock/RUnlock) and returns the guard key it acts on.
+func lockOp(info *types.Info, call *ast.CallExpr) (key, op string) {
+	key, _, op = syncMethodCall(info, call,
+		[]string{"Mutex", "RWMutex"},
+		[]string{"Lock", "Unlock", "RLock", "RUnlock"})
+	return key, op
+}
+
+// wgOp classifies call as a sync.WaitGroup Add/Done/Wait and returns
+// the lexical key of the WaitGroup it acts on.
+func wgOp(info *types.Info, call *ast.CallExpr) (key, op string) {
+	key, _, op = syncMethodCall(info, call,
+		[]string{"WaitGroup"},
+		[]string{"Add", "Done", "Wait"})
+	return key, op
 }
 
 // walkWithStack traverses every file, invoking fn with each node and

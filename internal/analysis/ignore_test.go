@@ -59,6 +59,11 @@ func TestScanSuppressionsMalformed(t *testing.T) {
 	for _, src := range []string{
 		"package p\n\n//provlint:ignore\nfunc f() {}\n",               // no analyzer, no reason
 		"package p\n\n//provlint:ignore fsxdiscipline\nfunc f() {}\n", // analyzer but no reason
+		// The concurrency analyzers get no special treatment: an ignore
+		// without a reason still fails, whatever analyzer it names.
+		"package p\n\n//provlint:ignore lockguard\nfunc f() {}\n",
+		"package p\n\n//provlint:ignore atomicmix\nfunc f() {}\n",
+		"package p\n\n//provlint:ignore lockguard,atomicmix\nfunc f() {}\n",
 	} {
 		_, s := scan(t, src)
 		if len(s.Malformed) != 1 {

@@ -103,21 +103,35 @@ func Main(analyzers ...*Analyzer) {
 			selected = append(selected, a)
 		}
 	}
-	diags, fset, err := runConfig(args[0], selected)
+	// -json reports suppressed findings too (flagged as such), so the
+	// run must keep them; the text mode only ever sees live findings.
+	diags, fset, err := runConfig(args[0], selected, *jsonFlag)
 	if err != nil {
 		log.Fatal(err) // exit 1: internal/typecheck error
 	}
+	live := 0
+	for _, d := range diags {
+		if !d.Suppressed {
+			live++
+		}
+	}
 	if len(diags) == 0 {
-		return
+		return // nothing to report (includes dependency-only visits)
 	}
 	if *jsonFlag {
-		printJSONDiags(fset, diags)
+		if err := EncodeJSONDiags(os.Stdout, fset, diags); err != nil {
+			log.Fatal(err)
+		}
 	} else {
 		for _, d := range diags {
 			fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.AnalyzerName)
 		}
 	}
-	os.Exit(2)
+	// Suppressed findings are advisory output, not failures: the exit
+	// code reflects live findings only, in both modes.
+	if live > 0 {
+		os.Exit(2)
+	}
 }
 
 // printVersion implements -V=full. The go command caches vet results
@@ -159,29 +173,46 @@ func printFlagsJSON(fs *flag.FlagSet) {
 	fmt.Println()
 }
 
-func printJSONDiags(fset *token.FileSet, diags []Diagnostic) {
-	type jsonDiag struct {
-		Analyzer string `json:"analyzer"`
-		Posn     string `json:"posn"`
-		Message  string `json:"message"`
-	}
-	out := make([]jsonDiag, 0, len(diags))
+// JSONDiag is the -json wire form of one finding. Line and column are
+// 1-based; Suppressed marks findings a //provlint:ignore directive
+// silences (present in -json output for auditability, never counted in
+// the exit status).
+type JSONDiag struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Column     int    `json:"column"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+// EncodeJSONDiags writes diags to w as an indented JSON array of
+// JSONDiag, preserving order. An empty slice encodes as [], not null,
+// so consumers can always range over the result.
+func EncodeJSONDiags(w io.Writer, fset *token.FileSet, diags []Diagnostic) error {
+	out := make([]JSONDiag, 0, len(diags))
 	for _, d := range diags {
-		out = append(out, jsonDiag{
-			Analyzer: d.AnalyzerName,
-			Posn:     fset.Position(d.Pos).String(),
-			Message:  d.Message,
+		posn := fset.Position(d.Pos)
+		out = append(out, JSONDiag{
+			File:       posn.Filename,
+			Line:       posn.Line,
+			Column:     posn.Column,
+			Analyzer:   d.AnalyzerName,
+			Message:    d.Message,
+			Suppressed: d.Suppressed,
 		})
 	}
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(w)
 	enc.SetIndent("", "\t")
-	_ = enc.Encode(out)
+	return enc.Encode(out)
 }
 
 // runConfig loads one vet config, type-checks the package it
 // describes against the export data the go command supplied, and runs
-// the selected analyzers.
-func runConfig(cfgFile string, analyzers []*Analyzer) ([]Diagnostic, *token.FileSet, error) {
+// the selected analyzers. includeSuppressed keeps findings silenced by
+// //provlint:ignore directives (marked Suppressed) instead of dropping
+// them.
+func runConfig(cfgFile string, analyzers []*Analyzer, includeSuppressed bool) ([]Diagnostic, *token.FileSet, error) {
 	data, err := os.ReadFile(cfgFile)
 	if err != nil {
 		return nil, nil, err
@@ -256,7 +287,11 @@ func runConfig(cfgFile string, analyzers []*Analyzer) ([]Diagnostic, *token.File
 		return nil, fset, nil
 	}
 
-	diags, err := RunAnalyzers(fset, files, pkg, info, analyzers)
+	run := RunAnalyzers
+	if includeSuppressed {
+		run = RunAnalyzersAll
+	}
+	diags, err := run(fset, files, pkg, info, analyzers)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// TestEncodeJSONDiags pins the -json wire format: one object per
+// finding with file/line/column/analyzer/message/suppressed, order
+// preserved, empty input encoding as [] rather than null.
+func TestEncodeJSONDiags(t *testing.T) {
+	fset := token.NewFileSet()
+	f := fset.AddFile("pkg/thing.go", -1, 100)
+	f.SetLinesForContent(bytes.Repeat([]byte("0123456789\n"), 9))
+	posAt := func(line, col int) token.Pos {
+		return f.LineStart(line) + token.Pos(col-1)
+	}
+
+	diags := []Diagnostic{
+		{AnalyzerName: "lockguard", Pos: posAt(3, 5), Message: "read of s.n without s.mu held"},
+		{AnalyzerName: "atomicmix", Pos: posAt(7, 2), Message: "plain access of hits", Suppressed: true},
+	}
+
+	var buf bytes.Buffer
+	if err := EncodeJSONDiags(&buf, fset, diags); err != nil {
+		t.Fatal(err)
+	}
+	var got []JSONDiag
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	want := []JSONDiag{
+		{File: "pkg/thing.go", Line: 3, Column: 5, Analyzer: "lockguard", Message: "read of s.n without s.mu held"},
+		{File: "pkg/thing.go", Line: 7, Column: 2, Analyzer: "atomicmix", Message: "plain access of hits", Suppressed: true},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d diagnostics, want %d: %s", len(got), len(want), buf.String())
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("diag %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+
+	// Every field name must appear literally, including a false
+	// suppressed — consumers key on presence, not omission.
+	for _, key := range []string{`"file"`, `"line"`, `"column"`, `"analyzer"`, `"message"`, `"suppressed"`} {
+		if !strings.Contains(buf.String(), key) {
+			t.Errorf("output lacks %s field:\n%s", key, buf.String())
+		}
+	}
+
+	buf.Reset()
+	if err := EncodeJSONDiags(&buf, fset, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(buf.String()) != "[]" {
+		t.Errorf("empty input encodes as %q, want []", buf.String())
+	}
+}

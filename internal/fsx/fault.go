@@ -72,12 +72,12 @@ type FaultFS struct {
 	inner FS
 
 	mu      sync.Mutex
-	ops     [opCount]int64 // total operations seen, per kind
-	armed   bool
-	match   [opCount]bool
-	left    int64 // matching ops remaining before the trip
-	fault   Fault
-	tripped bool
+	ops     [opCount]int64 // total operations seen, per kind; guarded by mu
+	armed   bool           // guarded by mu
+	match   [opCount]bool  // guarded by mu
+	left    int64          // matching ops remaining before the trip; guarded by mu
+	fault   Fault          // guarded by mu
+	tripped bool           // guarded by mu
 }
 
 // NewFault wraps inner (nil = real filesystem) with an initially

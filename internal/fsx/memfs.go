@@ -26,14 +26,14 @@ import (
 // MemFS is safe for concurrent use.
 type MemFS struct {
 	mu    sync.Mutex
-	files map[string]*memFile
-	dirs  map[string]bool
+	files map[string]*memFile // guarded by mu
+	dirs  map[string]bool     // guarded by mu
 }
 
 type memFile struct {
 	mu     sync.Mutex
-	data   []byte // current (volatile) content
-	synced []byte // durable image; nil = never synced
+	data   []byte // current (volatile) content; guarded by mu
+	synced []byte // durable image; nil = never synced; guarded by mu
 }
 
 // NewMem returns an empty in-memory filesystem with a root directory.
@@ -101,7 +101,8 @@ func (m *MemFS) WriteFile(name string, data []byte) {
 	}
 }
 
-func (m *MemFS) dirExists(dir string) bool {
+// dirExistsLocked reports whether dir exists. Caller holds m.mu.
+func (m *MemFS) dirExistsLocked(dir string) bool {
 	return m.dirs[dir] || dir == "." || dir == "/"
 }
 
@@ -117,7 +118,7 @@ func (m *MemFS) OpenFile(name string, flag int, _ os.FileMode) (File, error) {
 	case !ok && flag&os.O_CREATE == 0:
 		return nil, notExist("open", name)
 	case !ok:
-		if !m.dirExists(filepath.Dir(name)) {
+		if !m.dirExistsLocked(filepath.Dir(name)) {
 			return nil, notExist("open", name)
 		}
 		f = &memFile{}
@@ -152,7 +153,7 @@ func (m *MemFS) Rename(oldpath, newpath string) error {
 	if !ok {
 		return notExist("rename", oldpath)
 	}
-	if !m.dirExists(filepath.Dir(newpath)) {
+	if !m.dirExistsLocked(filepath.Dir(newpath)) {
 		return notExist("rename", newpath)
 	}
 	delete(m.files, oldpath)
@@ -191,7 +192,7 @@ func (m *MemFS) ReadDir(name string) ([]string, error) {
 	name = clean(name)
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if !m.dirExists(name) {
+	if !m.dirExistsLocked(name) {
 		return nil, notExist("readdir", name)
 	}
 	var names []string

@@ -98,11 +98,11 @@ func (s *StageTimer) Mean() time.Duration {
 // (inclusive), plus an overflow bucket. It is safe for concurrent use.
 type Histogram struct {
 	mu     sync.Mutex
-	bounds []int64 // sorted ascending
-	counts []int64 // len(bounds)+1, last = overflow
-	total  int64
-	sum    int64
-	max    int64
+	bounds []int64 // sorted ascending; immutable after NewHistogram
+	counts []int64 // len(bounds)+1, last = overflow; guarded by mu
+	total  int64   // guarded by mu
+	sum    int64   // guarded by mu
+	max    int64   // guarded by mu
 }
 
 // NewHistogram builds a histogram over the given inclusive upper

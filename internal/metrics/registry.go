@@ -78,8 +78,8 @@ type family struct {
 // the registry at all.
 type Registry struct {
 	mu         sync.Mutex
-	families   map[string]*family
-	collectors []func()
+	families   map[string]*family // guarded by mu
+	collectors []func()           // guarded by mu
 }
 
 // NewRegistry builds an empty registry.

@@ -76,12 +76,12 @@ type Service struct {
 	in     chan *tweet.Message
 	done   chan struct{}
 	stopMu sync.Mutex
-	closed bool
+	closed bool // guarded by stopMu
 
-	ingested  int
-	ckptErr   error
-	ckptCount int
-	walErr    error
+	ingested  int   // guarded by mu
+	ckptErr   error // guarded by mu
+	ckptCount int   // guarded by mu
+	walErr    error // guarded by mu
 
 	// ckptTimer accumulates checkpoint wall time (drain + store sync +
 	// atomic write + WAL truncate). Atomic, so scrapes read it live.
@@ -141,8 +141,11 @@ func (s *Service) run() {
 			s.apply(core.Prepare(m))
 		}
 	}
-	// Final checkpoint on drain, so Stop leaves durable state.
-	if s.ingested > 0 && (s.opts.CheckpointEvery > 0 || s.opts.Durable != nil) {
+	// Final checkpoint on drain, so Stop leaves durable state. Read
+	// the count through the locked accessor: Stop's caller goroutine
+	// observes ingested too, and the writer is not the only reader by
+	// the time the channel drains.
+	if s.Ingested() > 0 && (s.opts.CheckpointEvery > 0 || s.opts.Durable != nil) {
 		s.checkpoint()
 	}
 }

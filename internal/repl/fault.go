@@ -50,11 +50,11 @@ type FaultTransport struct {
 	inner http.RoundTripper
 
 	mu     sync.Mutex
-	armed  bool
-	n      int64 // requests until the fault fires (1 = next request)
-	fault  TransportFault
-	trips  int
-	frozen bool
+	armed  bool           // guarded by mu
+	n      int64          // requests until the fault fires (1 = next request); guarded by mu
+	fault  TransportFault // guarded by mu
+	trips  int            // guarded by mu
+	frozen bool           // guarded by mu
 }
 
 // NewFaultTransport wraps inner (nil = http.DefaultTransport).

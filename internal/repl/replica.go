@@ -374,12 +374,12 @@ func (r *Replica) Trending(k int) []trending.Topic {
 type tailResult int
 
 const (
-	tailApplied tailResult = iota // records landed; go again immediately
-	tailCaughtUp                  // at the watermark; poll-sleep
-	tailFault                     // transport/decode fault; backoff
-	tailResync                    // 410: behind the truncation horizon
-	tailDiverged                  // leader below us; latched
-	tailShed                      // 503: honor Retry-After
+	tailApplied  tailResult = iota // records landed; go again immediately
+	tailCaughtUp                   // at the watermark; poll-sleep
+	tailFault                      // transport/decode fault; backoff
+	tailResync                     // 410: behind the truncation horizon
+	tailDiverged                   // leader below us; latched
+	tailShed                       // 503: honor Retry-After
 )
 
 func (r *Replica) run() {

@@ -35,12 +35,12 @@ func testMsg(i int) *tweet.Message {
 
 // testLeader is a live leader: durable node, shipper, HTTP surface.
 type testLeader struct {
-	t    *testing.T
-	mem  *fsx.MemFS
-	dur  *pipeline.Durable
-	src  *Source
-	srv  *httptest.Server
-	n    int // messages ingested so far
+	t   *testing.T
+	mem *fsx.MemFS
+	dur *pipeline.Durable
+	src *Source
+	srv *httptest.Server
+	n   int // messages ingested so far
 }
 
 func leaderDurable(t *testing.T, mem *fsx.MemFS) *pipeline.Durable {

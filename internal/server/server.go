@@ -103,6 +103,9 @@ type HealthStatus struct {
 type HealthFunc func() HealthStatus
 
 // Server wires HTTP handlers around a Backend.
+// All Server fields are set during New (via Options) and immutable
+// afterwards; handler goroutines only read them, so no field needs a
+// lock. Mutable state lives behind the Backend and metrics types.
 type Server struct {
 	backend Backend
 	mux     *http.ServeMux

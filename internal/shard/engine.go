@@ -404,6 +404,8 @@ func (e *Engine) round(batch []core.Prepared) error {
 // this reproduces the serial engine's lowest-bundle-ID tie-break
 // without comparing IDs across stride-disjoint spaces (DESIGN.md §2i
 // gives the argument).
+//
+//provex:hotpath reduce step compares shards-many probe results per message
 func better(a, b core.ProbeResult) bool {
 	if a.Score != b.Score {
 		return a.Score > b.Score

@@ -27,6 +27,8 @@ const (
 )
 
 // hashString folds s into h without allocating.
+//
+//provex:hotpath inner loop of RouteKey, per byte of the dominant indicant
 func hashString(h uint64, s string) uint64 {
 	for i := 0; i < len(s); i++ {
 		h ^= uint64(s[i])

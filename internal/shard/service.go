@@ -61,10 +61,12 @@ type Service struct {
 	in     chan *tweet.Message
 	done   chan struct{}
 	stopMu sync.Mutex
-	closed bool
+	closed bool // guarded by stopMu
 
+	// sinceCkpt is owned by the writer goroutine (run/maybeCheckpoint)
+	// and never read elsewhere, so it needs no lock.
 	sinceCkpt int
-	ckptErr   error
+	ckptErr   error // guarded by stopMu
 	ckptTimer metrics.StageTimer
 }
 

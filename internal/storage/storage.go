@@ -94,19 +94,19 @@ type Store struct {
 	opts Options
 	fs   fsx.FS
 
-	active     fsx.File
-	activeSeg  int
-	activeSize int64
-	appends    int
+	active     fsx.File // guarded by mu
+	activeSeg  int      // guarded by mu
+	activeSize int64    // guarded by mu
+	appends    int      // guarded by mu
 
-	index     map[bundle.ID]recordPos
-	deadBytes int64 // superseded record bytes, Compact trigger signal
-	liveBytes int64
+	index     map[bundle.ID]recordPos // guarded by mu
+	deadBytes int64                   // superseded record bytes, Compact trigger signal; guarded by mu
+	liveBytes int64                   // guarded by mu
 
 	// broken latches a failed tail repair: the active segment's on-disk
 	// state no longer matches the in-memory cursor, so appends are
 	// refused until the store is reopened (recovery truncates the torn
-	// tail). Reads stay available.
+	// tail). Reads stay available. Guarded by mu.
 	broken error
 }
 
@@ -159,6 +159,11 @@ func (s *Store) listSegments() ([]int, error) {
 // magic never reached the disk (crash during rotation) is discarded;
 // earlier segments must be pristine.
 func (s *Store) recover() error {
+	// Open has not published the store yet, so there is no contention —
+	// but recover mutates the mu-guarded segment cursor and calls
+	// *Locked helpers, so it takes the lock like any other writer.
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	segs, err := s.listSegments()
 	if err != nil {
 		return fmt.Errorf("storage: %w", err)
@@ -277,14 +282,14 @@ func (s *Store) replaySegment(seg int, tolerateTail bool) (int64, error) {
 			}
 			return 0, fmt.Errorf("%w: segment %d: undecodable record at %d: %v", ErrCorrupt, seg, offset, err)
 		}
-		s.indexRecord(b.ID(), recordPos{seg: seg, offset: offset, length: length})
+		s.indexRecordLocked(b.ID(), recordPos{seg: seg, offset: offset, length: length})
 		offset += recordHeaderSize + length
 	}
 }
 
-// indexRecord records the newest position of id, tracking dead bytes of
-// any superseded record.
-func (s *Store) indexRecord(id bundle.ID, pos recordPos) {
+// indexRecordLocked records the newest position of id, tracking dead
+// bytes of any superseded record. Caller holds s.mu.
+func (s *Store) indexRecordLocked(id bundle.ID, pos recordPos) {
 	if old, ok := s.index[id]; ok {
 		s.deadBytes += recordHeaderSize + old.length
 		s.liveBytes -= recordHeaderSize + old.length
@@ -384,7 +389,7 @@ func (s *Store) Put(b *bundle.Bundle) error {
 		s.repairTailLocked()
 		return fmt.Errorf("storage: %w", err)
 	}
-	s.indexRecord(b.ID(), recordPos{seg: s.activeSeg, offset: s.activeSize, length: int64(len(payload))})
+	s.indexRecordLocked(b.ID(), recordPos{seg: s.activeSeg, offset: s.activeSize, length: int64(len(payload))})
 	s.activeSize += recordHeaderSize + int64(len(payload))
 	s.appends++
 	if s.opts.SyncEvery > 0 && s.appends%s.opts.SyncEvery == 0 {
@@ -540,7 +545,7 @@ func (s *Store) Compact() error {
 		if _, err := s.active.Write(payload); err != nil {
 			return fmt.Errorf("storage: %w", err)
 		}
-		s.indexRecord(b.ID(), recordPos{seg: s.activeSeg, offset: s.activeSize, length: int64(len(payload))})
+		s.indexRecordLocked(b.ID(), recordPos{seg: s.activeSeg, offset: s.activeSize, length: int64(len(payload))})
 		s.activeSize += recordHeaderSize + int64(len(payload))
 	}
 	if err := s.active.Sync(); err != nil {

@@ -35,11 +35,11 @@ const (
 // concurrent use; writes take an exclusive lock.
 type Index struct {
 	mu       sync.RWMutex
-	postings map[string][]posting
-	docLen   map[DocID]int
-	deleted  map[DocID]bool
-	totalLen int64 // sum of live+deleted doc lengths, adjusted on delete
-	liveDocs int
+	postings map[string][]posting // guarded by mu
+	docLen   map[DocID]int        // guarded by mu
+	deleted  map[DocID]bool       // guarded by mu
+	totalLen int64                // sum of live+deleted doc lengths, adjusted on delete; guarded by mu
+	liveDocs int                  // guarded by mu
 }
 
 // New returns an empty index.

@@ -26,7 +26,7 @@ const maxInternEntries = 1 << 19
 
 var interner = struct {
 	sync.RWMutex
-	m map[string]string
+	m map[string]string // guarded by RWMutex
 }{m: make(map[string]string, 4096)}
 
 // Intern returns the canonical copy of s, inserting one on first sight.

@@ -160,14 +160,14 @@ type Recorder struct {
 	refinesTotal   metrics.Counter
 
 	mu        sync.Mutex
-	decisions []*Decision // ring; nil slots until first wrap
-	dNext     int
-	dSeq      uint64
-	byMsg     map[uint64]*Decision
+	decisions []*Decision          // ring; nil slots until first wrap; guarded by mu
+	dNext     int                  // guarded by mu
+	dSeq      uint64               // guarded by mu
+	byMsg     map[uint64]*Decision // guarded by mu
 
-	refines []RefineEvent
-	rNext   int
-	rSeq    uint64
+	refines []RefineEvent // guarded by mu
+	rNext   int           // guarded by mu
+	rSeq    uint64        // guarded by mu
 }
 
 // New builds a Recorder. SampleEvery <= 0 yields a recorder that never
@@ -204,6 +204,8 @@ func (r *Recorder) Buffer() int {
 	if r == nil {
 		return 0
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return len(r.decisions)
 }
 

@@ -155,9 +155,9 @@ func TestReadBatchStaleHintFallsBack(t *testing.T) {
 	appendN(t, l, 0, 12)
 
 	for _, hint := range []Cursor{
-		{Seg: 99, Off: 64},   // nonexistent segment
-		{Seg: 1, Off: 9999},  // offset past the data
-		{Seg: 1, Off: 11},    // misaligned mid-record offset
+		{Seg: 99, Off: 64},     // nonexistent segment
+		{Seg: 1, Off: 9999},    // offset past the data
+		{Seg: 1, Off: 11},      // misaligned mid-record offset
 		{Seg: 1, Off: 1 << 40}, // absurd offset
 	} {
 		b, err := l.ReadBatch(0, hint, 1<<20)

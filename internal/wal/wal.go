@@ -81,6 +81,10 @@ type Log struct {
 	dir  string
 	opts Options
 
+	// f through broken are owned by the single writer goroutine (the
+	// pipeline's apply loop); they are never touched from another
+	// goroutine, so they carry no lock. Cross-goroutine reads go
+	// through the atomics below instead.
 	f       fsx.File
 	seg     int
 	size    atomic.Int64 // bytes in the active file; atomic for scrapes
